@@ -1,0 +1,100 @@
+// Command characterize runs the off-line change-point threshold
+// characterisation (Section 3.1 of the paper): for every ordered pair of
+// candidate rates it simulates null-hypothesis windows, accumulates the
+// maximum-likelihood-ratio statistic into a histogram, and prints the
+// confidence-quantile detection thresholds.
+//
+//	characterize -rates 10,20,40,60
+//	characterize -lo 6 -hi 44 -n 8 -confidence 0.995 -windows 4000
+//	characterize -rates 10,60 -hist        # include the null histograms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smartbadge/internal/changepoint"
+)
+
+func main() {
+	var (
+		ratesFlag  = flag.String("rates", "", "comma-separated candidate rates (overrides -lo/-hi/-n)")
+		lo         = flag.Float64("lo", 10, "lowest grid rate")
+		hi         = flag.Float64("hi", 60, "highest grid rate")
+		n          = flag.Int("n", 4, "grid points")
+		confidence = flag.Float64("confidence", 0.995, "detection confidence quantile")
+		windows    = flag.Int("windows", 4000, "null windows simulated per rate ratio")
+		windowSize = flag.Int("m", 100, "detection window size m")
+		seed       = flag.Uint64("seed", 0x5eed, "simulation seed")
+		hist       = flag.Bool("hist", false, "print the null-hypothesis statistic histograms")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *hist); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
+	confidence float64, windows, windowSize int, seed uint64, hist bool) error {
+	rates, err := parseRates(ratesFlag, lo, hi, n)
+	if err != nil {
+		return err
+	}
+	cfg := changepoint.DefaultConfig(rates)
+	cfg.Confidence = confidence
+	cfg.CharacterisationWindows = windows
+	cfg.WindowSize = windowSize
+	cfg.Seed = seed
+
+	th, hists, err := changepoint.CharacteriseDetailed(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "candidate rates: %v\n", rates)
+	fmt.Fprintf(w, "window m=%d, confidence %.3f, %d null windows per ratio\n\n",
+		cfg.WindowSize, cfg.Confidence, cfg.CharacterisationWindows)
+	fmt.Fprintf(w, "%12s %14s\n", "ratio λn/λo", "ln Pmax thresh")
+	for _, r := range th.Ratios() {
+		// Thresholds are keyed by ratio; look one up through any rate pair
+		// realising it.
+		v, err := th.For(1, r)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%12.4f %14.4f\n", r, v)
+	}
+	if hist {
+		for _, r := range th.Ratios() {
+			h, ok := hists[r]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "\nnull statistic histogram, ratio %.4f:\n%s", r, h.String())
+		}
+	}
+	return nil
+}
+
+func parseRates(s string, lo, hi float64, n int) ([]float64, error) {
+	if s == "" {
+		return changepoint.GeometricRates(lo, hi, n)
+	}
+	parts := strings.Split(s, ",")
+	rates := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", p, err)
+		}
+		rates = append(rates, v)
+	}
+	sort.Float64s(rates)
+	return rates, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseRatesExplicit(t *testing.T) {
+	rates, err := parseRates("40, 10,20", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 40}
+	if len(rates) != 3 {
+		t.Fatalf("len = %d", len(rates))
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Errorf("rates[%d] = %v, want %v (sorted)", i, rates[i], want[i])
+		}
+	}
+}
+
+func TestParseRatesGrid(t *testing.T) {
+	rates, err := parseRates("", 10, 80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 4 || rates[0] != 10 || rates[3] != 80 {
+		t.Errorf("grid = %v", rates)
+	}
+}
+
+func TestParseRatesErrors(t *testing.T) {
+	if _, err := parseRates("10,abc", 0, 0, 0); err == nil {
+		t.Error("bad number accepted")
+	}
+	if _, err := parseRates("", 80, 10, 4); err == nil {
+		t.Error("inverted grid accepted")
+	}
+}
+
+func TestRunCharacterise(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"candidate rates", "ln Pmax thresh", "histogram", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, false); err == nil {
+		t.Error("bad rates accepted")
+	}
+	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, false); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command dvsim runs one SmartBadge simulation: a workload (MP3 sequence,
+// MPEG clip, or the combined audio+video scenario) under a chosen DVS policy
+// and DPM mode, printing the energy and frame-delay report.
+//
+// Examples:
+//
+//	dvsim -app mp3 -seq ACEFBD -policy changepoint
+//	dvsim -app mpeg -clip football -policy ideal
+//	dvsim -app mixed -policy changepoint -dpm renewal -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartbadge"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "mp3", "application: mp3 | mpeg | mixed")
+		seq       = flag.String("seq", "ACEFBD", "MP3 clip sequence (labels A-F)")
+		clip      = flag.String("clip", "football", "MPEG clip: football | terminator2")
+		pol       = flag.String("policy", "changepoint", "DVS policy: ideal | changepoint | expavg | max")
+		dpmMode   = flag.String("dpm", "none", "DPM mode: none | timeout | renewal | tismdp | oracle")
+		timeout   = flag.Float64("timeout", 0, "fixed DPM timeout in seconds (0 = break-even)")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		traceFile = flag.String("tracefile", "", "replay a CSV trace (from tracegen) instead of generating one")
+		timeline  = flag.Bool("timeline", false, "print the mode timeline strip")
+		badge     = flag.String("badge", "", "JSON hardware table overriding the built-in Table 1 (see -dumpbadge)")
+		dumpBadge = flag.Bool("dumpbadge", false, "print the built-in hardware table as JSON and exit")
+	)
+	flag.Parse()
+
+	if *dumpBadge {
+		if err := smartbadge.WriteDefaultBadgeConfig(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*app, *seq, *clip, *pol, *dpmMode, *timeout, *seed, *traceFile, *timeline, *badge); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, seq, clip, pol, dpmMode string, timeout float64, seed uint64, traceFile string, timeline bool, badgeFile string) error {
+	application, err := smartbadge.ParseApplication(app)
+	if err != nil {
+		return err
+	}
+	policy, err := smartbadge.ParsePolicy(pol)
+	if err != nil {
+		return err
+	}
+	dpm, err := smartbadge.ParseDPM(dpmMode)
+	if err != nil {
+		return err
+	}
+
+	var trace *smartbadge.Trace
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		trace, err = smartbadge.ReadTraceCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		switch application {
+		case smartbadge.AppMP3:
+			trace, err = smartbadge.MP3Trace(seed, seq)
+		case smartbadge.AppMPEG:
+			trace, err = smartbadge.MPEGTrace(seed, clip)
+		case smartbadge.AppMixed:
+			trace, err = smartbadge.CombinedTrace(seed)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("workload: %s (%d frames, %.0f s)  policy: %s  dpm: %s  seed: %d\n\n",
+		app, len(trace.Frames), trace.Duration, policy, dpm, seed)
+	opts := smartbadge.Options{
+		Application:    application,
+		Policy:         policy,
+		DPM:            dpm,
+		TimeoutS:       timeout,
+		Trace:          trace,
+		RecordTimeline: timeline,
+	}
+	if badgeFile != "" {
+		f, err := os.Open(badgeFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.BadgeConfig = f
+	}
+	res, err := smartbadge.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(smartbadge.FormatResult(res))
+	if timeline {
+		fmt.Println()
+		fmt.Print(smartbadge.FormatTimeline(res, 100))
+	}
+	return nil
+}

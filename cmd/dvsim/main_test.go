@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"smartbadge"
+)
+
+func TestRunMP3(t *testing.T) {
+	if err := run("mp3", "A", "", "ideal", "none", 0, 1, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMPEGWithDPM(t *testing.T) {
+	if err := run("mpeg", "", "football", "max", "timeout", 0.5, 1, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		app, seq, clip, pol, dpm string
+	}{
+		{"bogus", "A", "", "ideal", "none"},
+		{"mp3", "ZZ", "", "ideal", "none"},
+		{"mpeg", "", "casablanca", "ideal", "none"},
+		{"mp3", "A", "", "bogus", "none"},
+		{"mp3", "A", "", "ideal", "bogus"},
+	}
+	for i, c := range cases {
+		if err := run(c.app, c.seq, c.clip, c.pol, c.dpm, 0, 1, "", false, ""); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	// Generate a trace CSV, then replay it.
+	dir := t.TempDir()
+	path := dir + "/trace.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := smartbadge.MP3Trace(1, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smartbadge.WriteTraceCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("mp3", "", "", "ideal", "none", 0, 1, path, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("mp3", "", "", "ideal", "none", 0, 1, dir+"/missing.csv", false, ""); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunWithBadgeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/badge.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smartbadge.WriteDefaultBadgeConfig(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("mp3", "A", "", "ideal", "none", 0, 1, "", false, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("mp3", "A", "", "ideal", "none", 0, 1, "", false, dir+"/missing.json"); err == nil {
+		t.Error("missing badge file accepted")
+	}
+}

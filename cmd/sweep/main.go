@@ -1,0 +1,79 @@
+// Command sweep emits parameter-sweep results as CSV for plotting:
+//
+//	sweep -what pareto        # energy/latency frontier (M/M/1, MDP, fixed)
+//	sweep -what wakeprob      # performance-constrained DPM sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartbadge/internal/experiments"
+)
+
+func main() {
+	var (
+		what = flag.String("what", "pareto", "sweep: pareto | wakeprob")
+		seed = flag.Uint64("seed", 1, "workload seed")
+		// Idle periods are overwhelmingly sub-second inter-frame gaps, so the
+		// wake-probability constraint only binds once it drops below the
+		// frequency of the long inter-clip gaps (~2e-4 of idle periods on
+		// the combined workload); the default sweep crosses that point.
+		probs = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *what, *seed, *probs); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, what string, seed uint64, probsFlag string) error {
+	switch strings.ToLower(what) {
+	case "pareto":
+		points, err := experiments.ParetoFrontier(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "policy,cpu_power_w,mean_delay_ms,switches")
+		for _, p := range points {
+			fmt.Fprintf(w, "%s,%.6f,%.3f,%d\n", p.Label, p.CPUPowerW, p.MeanDelayMS, p.Switches)
+		}
+		return nil
+	case "wakeprob":
+		probs, err := parseProbs(probsFlag)
+		if err != nil {
+			return err
+		}
+		points, err := experiments.WakeProbSweep(seed, probs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "max_wake_prob,timeout_s,energy_kj,sleeps,measured_wake_prob,mean_delay_s")
+		for _, p := range points {
+			fmt.Fprintf(w, "%g,%.4f,%.4f,%d,%.5f,%.4f\n",
+				p.MaxWakeProb, p.TimeoutS, p.EnergyKJ, p.Sleeps, p.MeasuredWakeProb, p.MeanDelayS)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob)", what)
+	}
+}
+
+func parseProbs(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

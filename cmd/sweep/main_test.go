@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunPareto(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "pareto", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "policy,cpu_power_w") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 12 {
+		t.Errorf("rows = %d, want 11 points + header", len(lines))
+	}
+}
+
+func TestRunWakeProb(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "wakeprob", 1, "1,0.1"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("rows = %d, want 2 points + header", len(lines))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(io.Discard, "bogus", 1, ""); err == nil {
+		t.Error("unknown sweep accepted")
+	}
+	if err := run(io.Discard, "wakeprob", 1, "x"); err == nil {
+		t.Error("bad probs accepted")
+	}
+	if err := run(io.Discard, "wakeprob", 1, "0"); err == nil {
+		t.Error("zero probability accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Command tracegen emits a generated workload trace as CSV for inspection or
+// external tooling: one row per frame with arrival time, decode work at the
+// maximum CPU frequency, clip index and the generating (oracle) rates.
+//
+//	tracegen -app mp3 -seq ACEFBD > mp3.csv
+//	tracegen -app mixed -seed 3 | head
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smartbadge"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "mp3", "application: mp3 | mpeg | mixed")
+		seq       = flag.String("seq", "ACEFBD", "MP3 clip sequence")
+		clip      = flag.String("clip", "football", "MPEG clip")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		clipsFile = flag.String("clips", "", "JSON clip configuration (overrides -app/-seq/-clip)")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *app, *seq, *clip, *seed, *clipsFile); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, app, seq, clip string, seed uint64, clipsFile string) error {
+	var trace *smartbadge.Trace
+	if clipsFile != "" {
+		f, err := os.Open(clipsFile)
+		if err != nil {
+			return err
+		}
+		trace, err = smartbadge.CustomTrace(seed, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		application, err := smartbadge.ParseApplication(app)
+		if err != nil {
+			return err
+		}
+		switch application {
+		case smartbadge.AppMP3:
+			trace, err = smartbadge.MP3Trace(seed, seq)
+		case smartbadge.AppMPEG:
+			trace, err = smartbadge.MPEGTrace(seed, clip)
+		case smartbadge.AppMixed:
+			trace, err = smartbadge.CombinedTrace(seed)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	w := bufio.NewWriter(out)
+	if err := smartbadge.WriteTraceCSV(w, trace); err != nil {
+		return err
+	}
+	return w.Flush()
+}

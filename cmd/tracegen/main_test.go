@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunApps(t *testing.T) {
+	for _, app := range []string{"mp3", "mpeg"} {
+		if err := run(io.Discard, app, "A", "football", 1, ""); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+func TestRunCSVHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "mp3", "A", "", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.HasPrefix(lines[0], "seq,arrival_s,work_at_fmax_s") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Errorf("only %d lines for a 110 s clip", len(lines))
+	}
+	// Every data row has six comma-separated fields.
+	for i, l := range lines[1:10] {
+		if strings.Count(l, ",") != 5 {
+			t.Errorf("row %d malformed: %q", i+1, l)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(io.Discard, "bogus", "A", "", 1, ""); err == nil {
+		t.Error("bad app accepted")
+	}
+	if err := run(io.Discard, "mp3", "ZZ", "", 1, ""); err == nil {
+		t.Error("bad sequence accepted")
+	}
+	if err := run(io.Discard, "mpeg", "", "casablanca", 1, ""); err == nil {
+		t.Error("bad clip accepted")
+	}
+}
+
+func TestRunWithClipsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/clips.json"
+	cfg := `[{"label":"x","kind":"mp3","segments":[{"duration_s":10,"arrival_rate":20,"decode_rate_max":90}]}]`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", "", 1, path); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output from custom clips")
+	}
+	if err := run(io.Discard, "", "", "", 1, dir+"/missing.json"); err == nil {
+		t.Error("missing clips file accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package smartbadge_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"smartbadge"
+)
+
+// Parsing helpers turn CLI strings into typed options.
+func ExampleParsePolicy() {
+	p, err := smartbadge.ParsePolicy("ChangePoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p)
+	if _, err := smartbadge.ParsePolicy("guesswork"); err != nil {
+		fmt.Println("rejected")
+	}
+	// Output:
+	// changepoint
+	// rejected
+}
+
+// The Table 2 catalogue drives MP3 workloads; sequences are label strings.
+func ExampleMP3Trace() {
+	trace, err := smartbadge.MP3Trace(1, "AC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(trace.Changes), "rate changes")
+	// Output:
+	// 2 rate changes
+}
+
+// Custom workloads load from JSON without recompiling.
+func ExampleCustomTrace() {
+	cfg := `[{"label": "podcast", "kind": "mp3", "sample_rate_khz": 32,
+	          "segments": [{"duration_s": 60, "arrival_rate": 27.8, "decode_rate_max": 120}]}]`
+	trace, err := smartbadge.CustomTrace(1, strings.NewReader(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("~%d frames per second\n", int(float64(len(trace.Frames))/trace.Duration+0.5))
+	// Output:
+	// ~29 frames per second
+}
+
+// Run simulates a workload under a DVS policy and DPM mode. (Energies depend
+// on the reconstructed hardware table, so this example is not output-checked.)
+func ExampleRun() {
+	trace, err := smartbadge.MP3Trace(1, "ACEFBD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := smartbadge.Run(smartbadge.Options{
+		Application: smartbadge.AppMP3,
+		Policy:      smartbadge.PolicyChangePoint,
+		DPM:         smartbadge.DPMRenewal,
+		Trace:       trace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(smartbadge.FormatResult(res))
+}
+
+// Battery lifetime is the user-facing metric the paper motivates.
+func ExampleBattery() {
+	b := smartbadge.DefaultBattery()
+	fmt.Printf("nominal energy: %.0f J\n", b.NominalEnergyJ())
+	fmt.Printf("halving power more than doubles runtime: %.2fx\n", b.LifetimeGain(2.0, 1.0))
+	// Output:
+	// nominal energy: 6912 J
+	// halving power more than doubles runtime: 2.14x
+}

@@ -1,0 +1,83 @@
+// dpmpolicy reproduces the Table 5 experiment: a day-in-the-life workload of
+// audio and video clips separated by long, heavy-tailed idle periods, run
+// under the four power-management configurations the paper compares —
+// nothing, DVS only, DPM only, and the combination that yields the paper's
+// headline factor-of-three saving. It also compares the DPM policy family
+// (fixed timeout vs. renewal-optimal vs. oracle) on the same trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartbadge"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	trace, err := smartbadge.CombinedTrace(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idle := 0.0
+	for _, g := range trace.IdleGaps {
+		idle += g
+	}
+	fmt.Printf("combined workload: %d frames, %.0f s total, %.0f s of inter-clip idle (%d gaps)\n\n",
+		len(trace.Frames), trace.Duration, idle, len(trace.IdleGaps))
+
+	type config struct {
+		name   string
+		policy smartbadge.Policy
+		dpm    smartbadge.DPMMode
+	}
+	configs := []config{
+		{"None (max clock, always on)", smartbadge.PolicyMax, smartbadge.DPMNone},
+		{"DVS only", smartbadge.PolicyChangePoint, smartbadge.DPMNone},
+		{"DPM only", smartbadge.PolicyMax, smartbadge.DPMRenewal},
+		{"DVS + DPM (the paper's result)", smartbadge.PolicyChangePoint, smartbadge.DPMRenewal},
+	}
+	baseline := 0.0
+	batt := smartbadge.DefaultBattery()
+	fmt.Printf("%-32s %12s %8s %8s %12s\n", "configuration", "energy (kJ)", "factor", "sleeps", "battery (h)")
+	for _, c := range configs {
+		res, err := smartbadge.Run(smartbadge.Options{
+			Application: smartbadge.AppMixed,
+			Policy:      c.policy,
+			DPM:         c.dpm,
+			Trace:       trace,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		if baseline == 0 {
+			baseline = res.EnergyJ
+		}
+		life, err := smartbadge.BatteryLifetimeHours(res, batt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s %12.3f %8.2f %8d %12.1f\n",
+			c.name, res.EnergyJ/1000, baseline/res.EnergyJ, res.Sleeps, life)
+	}
+
+	fmt.Printf("\nDPM policy family on the same trace (with change-point DVS):\n")
+	fmt.Printf("%-12s %12s %8s\n", "policy", "energy (kJ)", "sleeps")
+	for _, mode := range []smartbadge.DPMMode{
+		smartbadge.DPMTimeout, smartbadge.DPMRenewal, smartbadge.DPMTISMDP, smartbadge.DPMOracle,
+	} {
+		res, err := smartbadge.Run(smartbadge.Options{
+			Application: smartbadge.AppMixed,
+			Policy:      smartbadge.PolicyChangePoint,
+			DPM:         mode,
+			Trace:       trace,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		fmt.Printf("%-12s %12.3f %8d\n", mode, res.EnergyJ/1000, res.Sleeps)
+	}
+}

@@ -1,0 +1,48 @@
+// mpegplayer reproduces the Table 4 experiment for one MPEG clip: video
+// decoding with large frame-to-frame decode-time variance (the I/P/B
+// structure) and scene-to-scene rate changes, under the four rate policies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartbadge"
+)
+
+func main() {
+	var (
+		clip = flag.String("clip", "football", "MPEG clip: football | terminator2")
+		seed = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	trace, err := smartbadge.MPEGTrace(*seed, *clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MPEG clip %s: %d frames over %.0f s\n", *clip, len(trace.Frames), trace.Duration)
+	fmt.Printf("scene changes (arrival/decode rate steps): %d\n\n", len(trace.Changes))
+
+	for _, p := range []smartbadge.Policy{
+		smartbadge.PolicyIdeal,
+		smartbadge.PolicyChangePoint,
+		smartbadge.PolicyExpAvg,
+		smartbadge.PolicyMax,
+	} {
+		res, err := smartbadge.Run(smartbadge.Options{
+			Application: smartbadge.AppMPEG,
+			Policy:      p,
+			Trace:       trace,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		fmt.Printf("--- %s ---\n", p)
+		fmt.Printf("energy %.1f J, mean delay %.3f s (target 0.1 s), buffer peak %d frames\n",
+			res.EnergyJ, res.FrameDelay.Mean(), res.PeakQueue)
+		fmt.Printf("decode clock: mean %.1f MHz (range %.1f-%.1f), %d reconfigurations\n\n",
+			res.FreqTime.Mean(), res.FreqTime.Min(), res.FreqTime.Max(), res.Reconfigurations)
+	}
+}

@@ -1,0 +1,106 @@
+// queueaware demonstrates the "full optimization model" the paper alludes
+// to: instead of picking one frequency per (arrival rate, decode rate) pair
+// via the M/M/1 constant-delay inversion, solve the average-cost Markov
+// decision process over the buffer occupancy and run slower when the buffer
+// is nearly empty, faster as it fills. The example prints the optimal
+// switching curve and compares the resulting energy/delay against the
+// paper's rate-based policy and against fixed frequencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/mdp"
+	"smartbadge/internal/perfmodel"
+	"smartbadge/internal/policy"
+	"smartbadge/internal/sa1100"
+	"smartbadge/internal/sim"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/workload"
+)
+
+func main() {
+	var (
+		lambda = flag.Float64("lambda", 25, "frame arrival rate (fr/s)")
+		decode = flag.Float64("decode", 110, "decode rate at maximum frequency (fr/s)")
+		beta   = flag.Float64("beta", 0.5, "delay price (watts per buffered frame)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	proc := sa1100.Default()
+	curve := perfmodel.MP3Curve()
+	fMax := proc.Max().FrequencyMHz
+	mu := make([]float64, proc.NumPoints())
+	pw := make([]float64, proc.NumPoints())
+	for i, p := range proc.Points() {
+		mu[i] = *decode * curve.PerfRatio(p.FrequencyMHz/fMax)
+		pw[i] = p.ActivePowerW
+	}
+	cfg := mdp.Config{
+		Lambda: *lambda, Mu: mu, PowerW: pw,
+		IdlePowerW: proc.IdlePowerW(), DelayWeightW: *beta, QueueCap: 40,
+	}
+	pol, err := mdp.Solve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal switching curve (λ=%.0f fr/s, µmax=%.0f fr/s, β=%.2g W/frame):\n",
+		*lambda, *decode, *beta)
+	prev := -1
+	for n := 1; n <= cfg.QueueCap; n++ {
+		if pol.Action[n] != prev {
+			op := proc.Point(pol.Action[n])
+			fmt.Printf("  buffer >= %2d frames -> %6.1f MHz @ %.2f V\n", n, op.FrequencyMHz, op.VoltageV)
+			prev = pol.Action[n]
+		}
+	}
+	fmt.Printf("optimal average cost: %.4f W (energy + delay price)\n\n", pol.AvgCostW)
+
+	// Simulate against the rate-based M/M/1 policy and fixed frequencies.
+	clip := workload.Clip{
+		Label: "bench", Kind: workload.MP3,
+		Segments: []workload.Segment{{Duration: 1200, ArrivalRate: *lambda, DecodeRateMax: *decode}},
+	}
+	tr, err := workload.Generate(stats.NewRNG(*seed), []workload.Clip{clip}, workload.GenerateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ladder, err := pol.Ladder(proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(qp sim.QueuePolicy) *sim.Result {
+		ctrl, err := policy.NewController(proc, curve, 0.15,
+			policy.NewIdeal(*lambda), policy.NewIdeal(*decode), false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl.ResetRates(*lambda, *decode)
+		res, err := sim.Run(sim.Config{
+			Badge: device.SmartBadge(), Proc: proc, Trace: tr,
+			Controller: ctrl, Kind: workload.MP3, QueuePolicy: qp,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	fmt.Printf("%-22s %12s %12s %10s\n", "policy", "CPU power(W)", "delay (ms)", "switches")
+	report := func(name string, r *sim.Result) {
+		fmt.Printf("%-22s %12.4f %12.1f %10d\n", name,
+			r.EnergyByComponent[device.NameCPU]/r.SimTime,
+			r.FrameDelay.Mean()*1000, r.Reconfigurations)
+	}
+	report("queue-aware MDP", run(ladder))
+	report("M/M/1 rate policy", run(nil))
+	report("fixed 103.2 MHz", run(fixedQP{proc.Point(3)}))
+	report("fixed 221.2 MHz", run(fixedQP{proc.Point(proc.NumPoints() - 1)}))
+}
+
+type fixedQP struct{ op sa1100.OperatingPoint }
+
+func (f fixedQP) OperatingPointFor(int) sa1100.OperatingPoint { return f.op }

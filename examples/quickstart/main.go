@@ -1,0 +1,43 @@
+// Quickstart: generate a short MP3 workload, run it under the paper's
+// change-point DVS policy, and print the energy/performance report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge"
+)
+
+func main() {
+	// Two Table 2 clips back to back: the arrival and decode rates change at
+	// the clip boundary, which is exactly what the change-point detector has
+	// to catch.
+	trace, err := smartbadge.MP3Trace(1, "AC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d MP3 frames over %.0f s\n\n", len(trace.Frames), trace.Duration)
+
+	res, err := smartbadge.Run(smartbadge.Options{
+		Application: smartbadge.AppMP3,
+		Policy:      smartbadge.PolicyChangePoint,
+		Trace:       trace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(smartbadge.FormatResult(res))
+
+	// Compare with running flat out (no DVS).
+	max, err := smartbadge.Run(smartbadge.Options{
+		Application: smartbadge.AppMP3,
+		Policy:      smartbadge.PolicyMax,
+		Trace:       trace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDVS saves %.1f%% versus maximum performance (%.1f J vs %.1f J)\n",
+		(1-res.EnergyJ/max.EnergyJ)*100, res.EnergyJ, max.EnergyJ)
+}

@@ -1,0 +1,3 @@
+module smartbadge
+
+go 1.22

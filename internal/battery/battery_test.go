@@ -1,0 +1,94 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Battery{
+		{CapacitymAh: 0, VoltageV: 2.4, PeukertExponent: 1.1, RatedDischargeA: 0.04},
+		{CapacitymAh: 800, VoltageV: 0, PeukertExponent: 1.1, RatedDischargeA: 0.04},
+		{CapacitymAh: 800, VoltageV: 2.4, PeukertExponent: 0.9, RatedDischargeA: 0.04},
+		{CapacitymAh: 800, VoltageV: 2.4, PeukertExponent: 1.1, RatedDischargeA: 0},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestNominalEnergy(t *testing.T) {
+	b := Default()
+	want := 0.8 * 3600 * 2.4
+	if got := b.NominalEnergyJ(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestIdealBatteryLifetime(t *testing.T) {
+	b := Default()
+	b.PeukertExponent = 1 // ideal: lifetime = energy / power
+	p := 1.2
+	want := b.NominalEnergyJ() / p / 3600
+	if got := b.LifetimeHours(p); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("lifetime = %v h, want %v h", got, want)
+	}
+}
+
+func TestLifetimeAtRatedCurrentMatchesCapacity(t *testing.T) {
+	b := Default()
+	// Drawing exactly the rated current: Peukert derate is 1, so lifetime is
+	// capacity/current regardless of exponent.
+	p := b.RatedDischargeA * b.VoltageV
+	want := b.CapacitymAh / 1000 / b.RatedDischargeA
+	if got := b.LifetimeHours(p); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("lifetime = %v h, want %v h", got, want)
+	}
+}
+
+func TestPeukertPenalisesHighDraw(t *testing.T) {
+	b := Default()
+	// At twice the power, lifetime must be less than half (k > 1).
+	l1 := b.LifetimeHours(1.0)
+	l2 := b.LifetimeHours(2.0)
+	if l2 >= l1/2 {
+		t.Errorf("Peukert penalty missing: %v vs %v/2", l2, l1)
+	}
+	// And the gain of halving power exceeds 2.
+	if gain := b.LifetimeGain(2.0, 1.0); gain <= 2 {
+		t.Errorf("gain = %v, want > 2", gain)
+	}
+}
+
+func TestLifetimeMonotoneProperty(t *testing.T) {
+	b := Default()
+	prop := func(a, c float64) bool {
+		p1 := 0.01 + math.Abs(math.Mod(a, 10))
+		p2 := 0.01 + math.Abs(math.Mod(c, 10))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return b.LifetimeHours(p1) >= b.LifetimeHours(p2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroPowerInfiniteLifetime(t *testing.T) {
+	if !math.IsInf(Default().LifetimeHours(0), 1) {
+		t.Error("zero power should last forever")
+	}
+	if !math.IsNaN(Default().LifetimeGain(0, 1)) {
+		t.Error("gain with zero power should be NaN")
+	}
+}

@@ -1,0 +1,480 @@
+// Package changepoint implements the first contribution of the paper
+// (Section 3.1): optimal detection of rate changes in exponential arrival and
+// service processes via the maximum likelihood ratio, with off-line threshold
+// characterisation by stochastic simulation and on-line sliding-window
+// detection.
+//
+// The statistic. For a window holding the last m interarrival (or decoding)
+// times x_1..x_m, the hypothesis "the rate changed from λo to λn after the
+// k-th sample" is scored against "the rate is still λo" by the likelihood
+// ratio of Equation 3, whose logarithm (Equation 4) is
+//
+//	ln P(k) = (m − k)·ln(λn/λo) − (λn − λo)·Σ_{j=k+1..m} x_j
+//
+// The detection statistic for a candidate new rate λn is max_k ln P(k); only
+// the suffix sums of the window are needed, so one O(m) pass per candidate
+// suffices.
+//
+// Off-line characterisation. For each (λo, λn) pair from the predefined rate
+// set Λ, windows are simulated under the null hypothesis (all m samples at
+// rate λo), the statistic is accumulated into a histogram, and the
+// confidence quantile (99.5 % in the paper) becomes the on-line threshold:
+// a statistic above it occurs with probability ≤ 0.5 % when no change
+// happened. Because the null distribution of ln P(k) depends on (λo, λn)
+// only through the ratio λn/λo (λo·Σx is a Gamma(m−k, 1) pivot), thresholds
+// are cached per ratio, which collapses a geometric rate grid to a handful
+// of simulations.
+//
+// On-line detection. Every k-th observation (the paper's check interval),
+// the detector evaluates the statistic for every candidate λn ≠ λo and
+// reports the candidate with the largest margin above its threshold, if any.
+// After a detection the samples before the estimated change point are
+// discarded and λo becomes λn.
+package changepoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smartbadge/internal/stats"
+)
+
+// Config parameterises both characterisation and on-line detection.
+type Config struct {
+	// Rates is the predefined candidate rate set Λ (events/second).
+	// Must contain at least two distinct positive rates.
+	Rates []float64
+	// WindowSize is m, the number of recent samples considered (paper: 100).
+	WindowSize int
+	// CheckInterval is how many new samples arrive between statistic
+	// evaluations (the paper's "check every k points"). 1 checks on every
+	// sample.
+	CheckInterval int
+	// MinWindow is the smallest number of buffered samples at which checks
+	// run. After a detection the pre-change samples are discarded, so the
+	// window is short for a while; evaluating the statistic on n < m samples
+	// against the m-sample threshold is conservative (the null statistic over
+	// a suffix subset is stochastically smaller), and it is what lets the
+	// detector settle within ~10 frames as in Figure 10 instead of waiting
+	// for a full window to refill.
+	MinWindow int
+	// RefineAfter schedules refinement passes every RefineAfter samples
+	// following a detection, until WindowSize post-change samples have
+	// accumulated: the mean of the samples observed since the detection is
+	// re-snapped to the rate grid and adopted when it disagrees with the
+	// current rate. Detection fires on ~10 post-change samples, which is
+	// enough to notice *that* the rate changed but noisy for picking *which*
+	// neighbouring grid rate it changed to; refinement corrects an
+	// off-by-one grid pick without waiting for the slow threshold crossing
+	// between adjacent rates. 0 disables refinement.
+	RefineAfter int
+	// Confidence is the characterisation quantile (paper: 0.995).
+	Confidence float64
+	// CharacterisationWindows is the number of null windows simulated per
+	// rate ratio during off-line characterisation.
+	CharacterisationWindows int
+	// Seed drives the characterisation simulation.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's operating point: m = 100, check every
+// 5 samples, 99.5 % confidence, and a null sample of 4000 windows per ratio.
+func DefaultConfig(rates []float64) Config {
+	return Config{
+		Rates:                   rates,
+		WindowSize:              100,
+		CheckInterval:           5,
+		MinWindow:               10,
+		RefineAfter:             20,
+		Confidence:              0.995,
+		CharacterisationWindows: 4000,
+		Seed:                    0x5eed,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Rates) < 2 {
+		return fmt.Errorf("changepoint: need at least two candidate rates, got %d", len(c.Rates))
+	}
+	seen := map[float64]bool{}
+	for _, r := range c.Rates {
+		if r <= 0 {
+			return fmt.Errorf("changepoint: candidate rate must be positive, got %v", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("changepoint: duplicate candidate rate %v", r)
+		}
+		seen[r] = true
+	}
+	if c.WindowSize < 10 {
+		return fmt.Errorf("changepoint: window size %d too small (need >= 10)", c.WindowSize)
+	}
+	if c.CheckInterval < 1 {
+		return fmt.Errorf("changepoint: check interval must be >= 1, got %d", c.CheckInterval)
+	}
+	if c.MinWindow < 2 || c.MinWindow > c.WindowSize {
+		return fmt.Errorf("changepoint: min window %d must be in [2, %d]", c.MinWindow, c.WindowSize)
+	}
+	if c.RefineAfter < 0 {
+		return fmt.Errorf("changepoint: refine-after must be non-negative, got %d", c.RefineAfter)
+	}
+	if c.Confidence <= 0.5 || c.Confidence >= 1 {
+		return fmt.Errorf("changepoint: confidence must be in (0.5, 1), got %v", c.Confidence)
+	}
+	if c.CharacterisationWindows < 100 {
+		return fmt.Errorf("changepoint: need >= 100 characterisation windows, got %d", c.CharacterisationWindows)
+	}
+	return nil
+}
+
+// GeometricRates builds a geometric candidate rate grid from lo to hi with
+// the given number of points — the natural Λ for multimedia rates that span
+// an order of magnitude. The grid always includes both endpoints.
+func GeometricRates(lo, hi float64, n int) ([]float64, error) {
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("changepoint: need 0 < lo < hi, got [%v, %v]", lo, hi)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("changepoint: need at least two grid points, got %d", n)
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi // kill accumulated rounding
+	return out, nil
+}
+
+// SnapRate returns the candidate rate closest to x (in log space, since the
+// grid is ratio-structured). It panics on an empty grid.
+func SnapRate(rates []float64, x float64) float64 {
+	if len(rates) == 0 {
+		panic("changepoint: empty rate grid")
+	}
+	if x <= 0 {
+		return rates[0]
+	}
+	best := rates[0]
+	bestD := math.Abs(math.Log(x / best))
+	for _, r := range rates[1:] {
+		if d := math.Abs(math.Log(x / r)); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best
+}
+
+// logLikelihoodMax computes max_k ln P(k) for the window values (oldest
+// first) under candidate rates (λo → λn), along with the argmax k.
+// Equation 4 of the paper, evaluated for every k in one backward pass.
+func logLikelihoodMax(values []float64, oldRate, newRate float64) (best float64, bestK int) {
+	m := len(values)
+	logRatio := math.Log(newRate / oldRate)
+	delta := newRate - oldRate
+	best = math.Inf(-1)
+	bestK = m
+	suffix := 0.0
+	// k = m-1 .. 0; suffix holds Σ_{j=k+1..m} x_j after adding values[k].
+	for k := m - 1; k >= 0; k-- {
+		suffix += values[k]
+		lp := float64(m-k)*logRatio - delta*suffix
+		if lp > best {
+			best = lp
+			bestK = k
+		}
+	}
+	return best, bestK
+}
+
+// Thresholds holds the characterised detection thresholds, keyed by rate
+// ratio λn/λo.
+type Thresholds struct {
+	windowSize int
+	confidence float64
+	// byRatio maps a quantised ratio to the null-quantile threshold.
+	byRatio map[int64]float64
+	// ratios retains the characterised ratios for reporting.
+	ratios []float64
+}
+
+// ratioKey quantises a ratio for map lookup (1e-9 relative resolution in log
+// space, far finer than any practical grid spacing).
+func ratioKey(ratio float64) int64 {
+	return int64(math.Round(math.Log(ratio) * 1e9))
+}
+
+// Characterise runs the off-line stochastic simulation and returns the
+// threshold table for the configured rate set. This is the expensive,
+// run-once step; the result can be shared by any number of detectors.
+func Characterise(cfg Config) (*Thresholds, error) {
+	t, _, err := characterise(cfg, false)
+	return t, err
+}
+
+// CharacteriseDetailed additionally returns the null-hypothesis statistic
+// histograms per rate ratio — the "results accumulated in a histogram" the
+// paper describes — for inspection (see cmd/characterize -hist).
+func CharacteriseDetailed(cfg Config) (*Thresholds, map[float64]*stats.Histogram, error) {
+	return characterise(cfg, true)
+}
+
+func characterise(cfg Config, keepHistograms bool) (*Thresholds, map[float64]*stats.Histogram, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	t := &Thresholds{
+		windowSize: cfg.WindowSize,
+		confidence: cfg.Confidence,
+		byRatio:    make(map[int64]float64),
+	}
+	var hists map[float64]*stats.Histogram
+	if keepHistograms {
+		hists = make(map[float64]*stats.Histogram)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	// The null distribution depends only on the ratio, and the pivot
+	// λo·Σx lets us simulate once at λo = 1.
+	for _, lo := range cfg.Rates {
+		for _, ln := range cfg.Rates {
+			if lo == ln {
+				continue
+			}
+			ratio := ln / lo
+			key := ratioKey(ratio)
+			if _, done := t.byRatio[key]; done {
+				continue
+			}
+			h := characteriseRatio(rng, ratio, cfg)
+			t.byRatio[key] = h.Quantile(cfg.Confidence)
+			t.ratios = append(t.ratios, ratio)
+			if keepHistograms {
+				hists[ratio] = h
+			}
+		}
+	}
+	sort.Float64s(t.ratios)
+	return t, hists, nil
+}
+
+// characteriseRatio simulates null windows at unit rate and returns the
+// histogram of the statistic for candidate rate = ratio.
+func characteriseRatio(rng *stats.RNG, ratio float64, cfg Config) *stats.Histogram {
+	values := make([]float64, cfg.WindowSize)
+	// Statistic range: ln P is bounded above by m·|ln ratio| in practice;
+	// histogram over a generous span with fine bins.
+	span := float64(cfg.WindowSize)*math.Abs(math.Log(ratio)) + 10
+	h := stats.NewHistogram(-span, span, 4096)
+	for w := 0; w < cfg.CharacterisationWindows; w++ {
+		for i := range values {
+			values[i] = rng.Exp(1)
+		}
+		s, _ := logLikelihoodMax(values, 1, ratio)
+		h.Add(s)
+	}
+	return h
+}
+
+// For returns the threshold for a change from oldRate to newRate.
+// It returns an error if the ratio was not characterised.
+func (t *Thresholds) For(oldRate, newRate float64) (float64, error) {
+	th, ok := t.byRatio[ratioKey(newRate/oldRate)]
+	if !ok {
+		return 0, fmt.Errorf("changepoint: ratio %v/%v not characterised", newRate, oldRate)
+	}
+	return th, nil
+}
+
+// Ratios returns the characterised ratios in ascending order.
+func (t *Thresholds) Ratios() []float64 {
+	out := make([]float64, len(t.ratios))
+	copy(out, t.ratios)
+	return out
+}
+
+// WindowSize returns the window size the thresholds were characterised for.
+func (t *Thresholds) WindowSize() int { return t.windowSize }
+
+// Confidence returns the characterisation confidence level.
+func (t *Thresholds) Confidence() float64 { return t.confidence }
+
+// Detection reports one detected rate change.
+type Detection struct {
+	// OldRate and NewRate are the grid rates before and after the change.
+	OldRate, NewRate float64
+	// SampleIndex is the total number of samples observed when the change was
+	// declared.
+	SampleIndex int
+	// ChangeOffset is the estimated k: how many of the window's samples
+	// precede the change.
+	ChangeOffset int
+	// Statistic and Threshold are the winning ln P_max and its threshold.
+	Statistic, Threshold float64
+	// MLERate is the maximum-likelihood rate of the post-change suffix.
+	MLERate float64
+	// Refined marks a refinement correction (see Config.RefineAfter) rather
+	// than a fresh threshold crossing.
+	Refined bool
+}
+
+// Detector performs on-line change detection over a stream of interarrival
+// or decoding times.
+type Detector struct {
+	cfg        Config
+	thresholds *Thresholds
+	window     *stats.Window
+	current    float64
+	sinceCheck int
+	observed   int
+	// sinceDetect counts clean post-detection samples while refinement is
+	// active; -1 means no refinement pending.
+	sinceDetect int
+}
+
+// NewDetector builds a detector starting from the given initial rate, which
+// is snapped to the candidate grid. The thresholds must come from
+// Characterise with the same Config.
+func NewDetector(cfg Config, th *Thresholds, initialRate float64) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if th == nil {
+		return nil, fmt.Errorf("changepoint: nil thresholds (run Characterise first)")
+	}
+	if th.windowSize != cfg.WindowSize {
+		return nil, fmt.Errorf("changepoint: thresholds characterised for window %d, config has %d",
+			th.windowSize, cfg.WindowSize)
+	}
+	if initialRate <= 0 {
+		return nil, fmt.Errorf("changepoint: initial rate must be positive, got %v", initialRate)
+	}
+	return &Detector{
+		cfg:         cfg,
+		thresholds:  th,
+		window:      stats.NewWindow(cfg.WindowSize),
+		current:     SnapRate(cfg.Rates, initialRate),
+		sinceDetect: -1,
+	}, nil
+}
+
+// CurrentRate returns the detector's current rate estimate (a grid rate).
+func (d *Detector) CurrentRate() float64 { return d.current }
+
+// Observed returns the total number of samples seen.
+func (d *Detector) Observed() int { return d.observed }
+
+// SetRate forces the current rate (snapped to the grid) and clears the
+// window; used when the power manager knows the regime changed for reasons
+// outside the sample stream (e.g. a new clip started after an idle period).
+func (d *Detector) SetRate(rate float64) {
+	d.current = SnapRate(d.cfg.Rates, rate)
+	d.window.Reset()
+	d.sinceCheck = 0
+	d.sinceDetect = -1
+}
+
+// Observe feeds one interarrival (or decoding) time. It returns a Detection
+// and true when a rate change is declared. Negative or non-finite samples
+// are rejected with a panic — they indicate a simulator bug, not a data
+// condition.
+func (d *Detector) Observe(x float64) (Detection, bool) {
+	if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		panic(fmt.Sprintf("changepoint: invalid sample %v", x))
+	}
+	d.window.Push(x)
+	d.observed++
+	d.sinceCheck++
+	// Refinement after a recent detection (see Config.RefineAfter): every
+	// RefineAfter samples, re-estimate the rate over the samples observed
+	// since the detection (a clean post-change suffix — anything older may
+	// predate the change, since the detection's change-point estimate is
+	// imprecise) and adopt the grid snap if it disagrees. The suffix grows
+	// with every pass, so the estimate sharpens until a full window has
+	// accumulated and the regular mechanism takes over.
+	if d.sinceDetect >= 0 {
+		d.sinceDetect++
+		if d.sinceDetect >= d.window.Cap() {
+			d.sinceDetect = -1
+		} else if d.cfg.RefineAfter > 0 && d.sinceDetect%d.cfg.RefineAfter == 0 {
+			n := d.sinceDetect
+			if l := d.window.Len(); l < n {
+				n = l
+			}
+			var mle float64
+			if s := d.window.SuffixSum(n); s > 0 {
+				mle = float64(n) / s
+			}
+			if snapped := SnapRate(d.cfg.Rates, mle); mle > 0 && snapped != d.current {
+				det := Detection{
+					OldRate:     d.current,
+					NewRate:     snapped,
+					SampleIndex: d.observed,
+					MLERate:     mle,
+					Refined:     true,
+				}
+				d.current = snapped
+				return det, true
+			}
+		}
+	}
+	if d.window.Len() < d.cfg.MinWindow || d.sinceCheck < d.cfg.CheckInterval {
+		return Detection{}, false
+	}
+	d.sinceCheck = 0
+	values := d.window.Values()
+	bestMargin := 0.0
+	var best Detection
+	found := false
+	for _, cand := range d.cfg.Rates {
+		if cand == d.current {
+			continue
+		}
+		th, err := d.thresholds.For(d.current, cand)
+		if err != nil {
+			// Unreachable when thresholds match the config; fail loudly.
+			panic(err)
+		}
+		s, k := logLikelihoodMax(values, d.current, cand)
+		if margin := s - th; s > th && margin > bestMargin {
+			suffix := values[k:]
+			mle := stats.MeanRate(suffix)
+			best = Detection{
+				OldRate:      d.current,
+				NewRate:      cand,
+				SampleIndex:  d.observed,
+				ChangeOffset: k,
+				Statistic:    s,
+				Threshold:    th,
+				MLERate:      mle,
+			}
+			bestMargin = margin
+			found = true
+		}
+	}
+	if !found {
+		return Detection{}, false
+	}
+	// Adopt the new rate and keep only the post-change samples. When the
+	// suffix is long enough for a meaningful estimate, the suffix MLE picks
+	// the grid rate — the threshold crossing says *that* the rate changed,
+	// the suffix mean says *to what*.
+	post := values[best.ChangeOffset:]
+	if len(post) >= 5 && best.MLERate > 0 {
+		if snapped := SnapRate(d.cfg.Rates, best.MLERate); snapped != d.current {
+			best.NewRate = snapped
+		}
+	}
+	d.current = best.NewRate
+	d.window.Reset()
+	for _, v := range post {
+		d.window.Push(v)
+	}
+	if d.cfg.RefineAfter > 0 {
+		d.sinceDetect = 0
+	}
+	return best, true
+}

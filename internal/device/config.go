@@ -1,0 +1,74 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// componentConfig is the JSON form of one Table 1 row.
+type componentConfig struct {
+	Name      string  `json:"name"`
+	ActiveMW  float64 `json:"active_mw"`
+	IdleMW    float64 `json:"idle_mw"`
+	StandbyMW float64 `json:"standby_mw"`
+	OffMW     float64 `json:"off_mw"`
+	TSbyMS    float64 `json:"tsby_ms"`
+	TOffMS    float64 `json:"toff_ms"`
+}
+
+// LoadBadge reads a component table from JSON, so the reconstructed Table 1
+// constants can be recalibrated against real measurements without
+// recompiling. The format is a JSON array of rows:
+//
+//	[
+//	  {"name": "Display", "active_mw": 240, "idle_mw": 120,
+//	   "standby_mw": 0.5, "off_mw": 0, "tsby_ms": 10, "toff_ms": 100},
+//	  ...
+//	]
+//
+// Every entry is validated with the same physical-sanity rules as the
+// built-in table.
+func LoadBadge(r io.Reader) (*Badge, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfgs []componentConfig
+	if err := dec.Decode(&cfgs); err != nil {
+		return nil, fmt.Errorf("device: parsing badge config: %w", err)
+	}
+	components := make([]Component, 0, len(cfgs))
+	for _, cc := range cfgs {
+		components = append(components, Component{
+			Name: cc.Name,
+			PowerW: [4]float64{
+				cc.ActiveMW / 1000, cc.IdleMW / 1000,
+				cc.StandbyMW / 1000, cc.OffMW / 1000,
+			},
+			WakeFromStandby: cc.TSbyMS / 1000,
+			WakeFromOff:     cc.TOffMS / 1000,
+		})
+	}
+	return NewBadge(components)
+}
+
+// SaveBadge writes the component table in the LoadBadge format.
+func SaveBadge(w io.Writer, b *Badge) error {
+	if b == nil {
+		return fmt.Errorf("device: nil badge")
+	}
+	var cfgs []componentConfig
+	for _, c := range b.Components() {
+		cfgs = append(cfgs, componentConfig{
+			Name:      c.Name,
+			ActiveMW:  c.PowerW[Active] * 1000,
+			IdleMW:    c.PowerW[Idle] * 1000,
+			StandbyMW: c.PowerW[Standby] * 1000,
+			OffMW:     c.PowerW[Off] * 1000,
+			TSbyMS:    c.WakeFromStandby * 1000,
+			TOffMS:    c.WakeFromOff * 1000,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfgs)
+}

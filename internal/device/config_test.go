@@ -1,0 +1,55 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadgeSaveLoadRoundTrip(t *testing.T) {
+	orig := SmartBadge()
+	var buf bytes.Buffer
+	if err := SaveBadge(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBadge(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, gc := orig.Components(), got.Components()
+	if len(oc) != len(gc) {
+		t.Fatalf("components: %d vs %d", len(oc), len(gc))
+	}
+	for i := range oc {
+		if oc[i] != gc[i] {
+			t.Errorf("component %d differs: %+v vs %+v", i, oc[i], gc[i])
+		}
+	}
+}
+
+func TestLoadBadgeErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{",
+		"empty":         "[]",
+		"unknown field": `[{"name":"x","bogus":1}]`,
+		"inverted powers": `[{"name":"x","active_mw":10,"idle_mw":20,
+			"standby_mw":1,"off_mw":0,"tsby_ms":1,"toff_ms":2}]`,
+		"off wakes faster": `[{"name":"x","active_mw":20,"idle_mw":10,
+			"standby_mw":1,"off_mw":0,"tsby_ms":5,"toff_ms":2}]`,
+		"duplicate": `[
+			{"name":"x","active_mw":20,"idle_mw":10,"standby_mw":1,"off_mw":0,"tsby_ms":1,"toff_ms":2},
+			{"name":"x","active_mw":20,"idle_mw":10,"standby_mw":1,"off_mw":0,"tsby_ms":1,"toff_ms":2}]`,
+	}
+	for name, in := range cases {
+		if _, err := LoadBadge(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveBadgeNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBadge(&buf, nil); err == nil {
+		t.Error("nil badge accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmartBadgeComponents(t *testing.T) {
+	b := SmartBadge()
+	want := []string{NameDisplay, NameWLAN, NameCPU, NameFlash, NameSRAM, NameDRAM}
+	got := b.Components()
+	if len(got) != len(want) {
+		t.Fatalf("component count = %d, want %d", len(got), len(want))
+	}
+	for i, n := range want {
+		if got[i].Name != n {
+			t.Errorf("component[%d] = %q, want %q", i, got[i].Name, n)
+		}
+	}
+}
+
+func TestSmartBadgeValidates(t *testing.T) {
+	for _, c := range SmartBadge().Components() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestPowerOrderingPerComponent(t *testing.T) {
+	for _, c := range SmartBadge().Components() {
+		if !(c.Power(Active) >= c.Power(Idle) &&
+			c.Power(Idle) >= c.Power(Standby) &&
+			c.Power(Standby) >= c.Power(Off)) {
+			t.Errorf("%s: power not monotone across states", c.Name)
+		}
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	b := SmartBadge()
+	active := b.TotalPower(Active)
+	idle := b.TotalPower(Idle)
+	stdby := b.TotalPower(Standby)
+	off := b.TotalPower(Off)
+	if !(active > idle && idle > stdby && stdby > off) {
+		t.Errorf("total power ordering violated: %v %v %v %v", active, idle, stdby, off)
+	}
+	// Sanity against the reconstructed table: active in the 2-3 W band,
+	// standby well under 100 mW.
+	if active < 2.0 || active > 3.5 {
+		t.Errorf("total active power = %v W, want 2-3.5 W band", active)
+	}
+	if stdby > 0.1 {
+		t.Errorf("total standby power = %v W, want < 0.1 W", stdby)
+	}
+	if off != 0 {
+		t.Errorf("total off power = %v, want 0", off)
+	}
+}
+
+func TestWakeLatencyIsMax(t *testing.T) {
+	b := SmartBadge()
+	// WLAN dominates both wake paths in the reconstructed table.
+	if got := b.WakeLatency(Standby); got != 0.040 {
+		t.Errorf("standby wake = %v, want 0.040 (WLAN)", got)
+	}
+	if got := b.WakeLatency(Off); got != 0.200 {
+		t.Errorf("off wake = %v, want 0.200 (WLAN)", got)
+	}
+	if got := b.WakeLatency(Active); got != 0 {
+		t.Errorf("active wake = %v, want 0", got)
+	}
+}
+
+func TestComponentLookup(t *testing.T) {
+	b := SmartBadge()
+	cpu, ok := b.Component(NameCPU)
+	if !ok || cpu.Name != NameCPU {
+		t.Fatal("CPU lookup failed")
+	}
+	if _, ok := b.Component("nonexistent"); ok {
+		t.Error("lookup of unknown component succeeded")
+	}
+	if b.MustComponent(NameDRAM).Name != NameDRAM {
+		t.Error("MustComponent failed")
+	}
+}
+
+func TestMustComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SmartBadge().MustComponent("bogus")
+}
+
+func TestValidateRejectsBadEntries(t *testing.T) {
+	cases := []Component{
+		{Name: "", PowerW: [4]float64{1, 0.5, 0.1, 0}},
+		{Name: "neg", PowerW: [4]float64{-1, 0, 0, 0}},
+		{Name: "negidle", PowerW: [4]float64{1, -0.5, 0, 0}},
+		{Name: "inverted", PowerW: [4]float64{0.5, 1, 0.1, 0}},
+		{Name: "neglat", PowerW: [4]float64{1, 0.5, 0.1, 0}, WakeFromStandby: -1},
+		{Name: "offfast", PowerW: [4]float64{1, 0.5, 0.1, 0}, WakeFromStandby: 0.1, WakeFromOff: 0.05},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%q: expected validation error", c.Name)
+		}
+	}
+}
+
+func TestNewBadgeRejectsDuplicates(t *testing.T) {
+	c := Component{Name: "x", PowerW: [4]float64{1, 0.5, 0.1, 0}, WakeFromOff: 0.01}
+	if _, err := NewBadge([]Component{c, c}); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+	if _, err := NewBadge(nil); err == nil {
+		t.Error("expected empty-badge error")
+	}
+}
+
+func TestPowerStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SmartBadge().Components()[0].Power(PowerState(9))
+}
+
+func TestPowerStateString(t *testing.T) {
+	cases := map[PowerState]string{
+		Active: "active", Idle: "idle", Standby: "standby", Off: "off",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if PowerState(42).String() != "PowerState(42)" {
+		t.Error("unknown state string wrong")
+	}
+	if len(States()) != 4 {
+		t.Error("States() should return 4 entries")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	b := SmartBadge()
+	rows := b.Table1()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 6 components + total", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Component != "Total" {
+		t.Fatalf("last row = %q, want Total", last.Component)
+	}
+	sum := 0.0
+	for _, r := range rows[:len(rows)-1] {
+		sum += r.ActiveMW
+	}
+	if diff := last.ActiveMW - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("total active = %v, want %v", last.ActiveMW, sum)
+	}
+	text := FormatTable1(rows)
+	for _, name := range []string{"Display", "WLAN RF", "SA-1100", "Total", "tsby(ms)"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("rendered table missing %q", name)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package dpm
+
+import (
+	"math"
+	"testing"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/stats"
+)
+
+func testCosts() Costs {
+	return Costs{
+		IdlePowerW:        1.24,
+		SleepPowerW:       0.048,
+		TransitionEnergyJ: 0.53, // ≈ active power over a 200 ms wake
+		WakeLatencyS:      0.2,
+	}
+}
+
+func TestCostsValidate(t *testing.T) {
+	if err := testCosts().Validate(); err != nil {
+		t.Fatalf("valid costs rejected: %v", err)
+	}
+	bad := []Costs{
+		{IdlePowerW: 0, SleepPowerW: 0},
+		{IdlePowerW: 1, SleepPowerW: 1},
+		{IdlePowerW: 1, SleepPowerW: 2},
+		{IdlePowerW: 1, SleepPowerW: 0.1, TransitionEnergyJ: -1},
+		{IdlePowerW: 1, SleepPowerW: 0.1, WakeLatencyS: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	c := testCosts()
+	want := 0.53 / (1.24 - 0.048)
+	if got := c.BreakEven(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("break-even = %v, want %v", got, want)
+	}
+}
+
+func TestCostsForBadge(t *testing.T) {
+	b := device.SmartBadge()
+	c := CostsForBadge(b, device.Standby)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("derived costs invalid: %v", err)
+	}
+	if c.WakeLatencyS != b.WakeLatency(device.Standby) {
+		t.Error("wake latency mismatch")
+	}
+	if c.IdlePowerW != b.TotalPower(device.Idle) {
+		t.Error("idle power mismatch")
+	}
+	if c.SleepPowerW != b.TotalPower(device.Standby) {
+		t.Error("sleep power mismatch")
+	}
+	off := CostsForBadge(b, device.Off)
+	if off.SleepPowerW != 0 {
+		t.Error("off-state power should be zero")
+	}
+	if off.BreakEven() <= c.BreakEven() {
+		t.Error("off should have a longer break-even than standby")
+	}
+}
+
+func TestAlwaysOn(t *testing.T) {
+	p := AlwaysOn{}
+	d := p.Decide(1e9)
+	if d.Sleep {
+		t.Error("always-on decided to sleep")
+	}
+	p.ObserveIdle(5) // must not panic
+	if p.Name() != "always-on" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFixedTimeout(t *testing.T) {
+	p, err := NewFixedTimeout(2.5, device.Standby)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Decide(0)
+	if !d.Sleep || d.Timeout != 2.5 || d.Target != device.Standby {
+		t.Errorf("decision = %+v", d)
+	}
+	if _, err := NewFixedTimeout(-1, device.Standby); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	if _, err := NewFixedTimeout(1, device.Active); err == nil {
+		t.Error("active target accepted")
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestOracleDecidesByBreakEven(t *testing.T) {
+	c := testCosts()
+	p, err := NewOracle(c, device.Standby)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := c.BreakEven()
+	if d := p.Decide(be * 2); !d.Sleep || d.Timeout != 0 {
+		t.Errorf("long idle: %+v", d)
+	}
+	if d := p.Decide(be / 2); d.Sleep {
+		t.Errorf("short idle: %+v", d)
+	}
+	if _, err := NewOracle(Costs{}, device.Standby); err == nil {
+		t.Error("invalid costs accepted")
+	}
+	if _, err := NewOracle(c, device.Idle); err == nil {
+		t.Error("idle target accepted")
+	}
+}
+
+func TestExpectedEnergyPerIdleLimits(t *testing.T) {
+	c := testCosts()
+	dist := stats.NewPareto(1, 2) // mean 2 s
+	// τ → ∞ means never sleeping: energy → P_idle · E[T].
+	eNever := ExpectedEnergyPerIdle(dist, c, 1e9)
+	wantNever := c.IdlePowerW * dist.Mean()
+	if math.Abs(eNever-wantNever)/wantNever > 0.02 {
+		t.Errorf("never-sleep energy = %v, want ≈ %v", eNever, wantNever)
+	}
+	// τ = 0 means always sleeping immediately: E = P_sleep·E[T] + E_tr.
+	eZero := ExpectedEnergyPerIdle(dist, c, 0)
+	wantZero := c.SleepPowerW*dist.Mean() + c.TransitionEnergyJ
+	if math.Abs(eZero-wantZero)/wantZero > 0.02 {
+		t.Errorf("always-sleep energy = %v, want ≈ %v", eZero, wantZero)
+	}
+}
+
+func TestExpectedEnergyMatchesMonteCarlo(t *testing.T) {
+	c := testCosts()
+	dist := stats.NewPareto(0.5, 1.8)
+	tau := 1.0
+	analytic := ExpectedEnergyPerIdle(dist, c, tau)
+	rng := stats.NewRNG(7)
+	var m stats.Moments
+	for i := 0; i < 200000; i++ {
+		T := dist.Sample(rng)
+		var e float64
+		if T <= tau {
+			e = c.IdlePowerW * T
+		} else {
+			e = c.IdlePowerW*tau + c.SleepPowerW*(T-tau) + c.TransitionEnergyJ
+		}
+		m.Add(e)
+	}
+	if rel := math.Abs(analytic-m.Mean()) / m.Mean(); rel > 0.05 {
+		t.Errorf("analytic %v vs Monte Carlo %v (rel %v)", analytic, m.Mean(), rel)
+	}
+}
+
+func TestOptimalTimeoutBeatsExtremes(t *testing.T) {
+	c := testCosts()
+	// Heavy-tailed idle: many short periods, some very long.
+	dist := stats.NewPareto(0.2, 1.6)
+	tau := OptimalTimeout(dist, c)
+	eOpt := ExpectedEnergyPerIdle(dist, c, tau)
+	eNever := ExpectedEnergyPerIdle(dist, c, 1e9)
+	eZero := ExpectedEnergyPerIdle(dist, c, 0)
+	if eOpt > eNever || eOpt > eZero {
+		t.Errorf("optimal τ=%v energy %v worse than extremes (never %v, zero %v)",
+			tau, eOpt, eNever, eZero)
+	}
+	// For a heavy tail with many sub-break-even periods, a positive finite
+	// timeout is optimal.
+	if tau <= 0 {
+		t.Errorf("optimal timeout = %v, want positive for Pareto idle", tau)
+	}
+}
+
+func TestOptimalTimeoutFreeTransition(t *testing.T) {
+	c := testCosts()
+	c.TransitionEnergyJ = 0
+	if tau := OptimalTimeout(stats.NewPareto(1, 2), c); tau != 0 {
+		t.Errorf("free transitions should sleep immediately, got τ=%v", tau)
+	}
+}
+
+func TestRenewalTimeoutPolicy(t *testing.T) {
+	c := testCosts()
+	dist := stats.NewPareto(0.5, 1.8)
+	p, err := NewRenewalTimeout(dist, c, device.Standby, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Decide(0)
+	if !d.Sleep || d.Target != device.Standby {
+		t.Errorf("decision = %+v", d)
+	}
+	if d.Timeout != p.Timeout() {
+		t.Error("decision timeout differs from policy timeout")
+	}
+	if p.Name() != "renewal" {
+		t.Error("name wrong")
+	}
+	// Validation.
+	if _, err := NewRenewalTimeout(nil, c, device.Standby, 0); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := NewRenewalTimeout(dist, Costs{}, device.Standby, 0); err == nil {
+		t.Error("bad costs accepted")
+	}
+	if _, err := NewRenewalTimeout(dist, c, device.Active, 0); err == nil {
+		t.Error("active target accepted")
+	}
+}
+
+func TestRenewalTimeoutAdapts(t *testing.T) {
+	c := testCosts()
+	// Start with a model that says idle periods are long (sleep early).
+	initial := stats.NewPareto(10, 1.5)
+	p, err := NewRenewalTimeout(initial, c, device.Standby, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "renewal-adaptive" {
+		t.Error("name wrong")
+	}
+	before := p.Timeout()
+	// Feed many short idle periods; the refit should push the timeout up
+	// (sleeping rarely pays off now).
+	rng := stats.NewRNG(3)
+	short := stats.NewPareto(0.05, 3) // mean 0.075 s, far below break-even
+	for i := 0; i < 200; i++ {
+		p.ObserveIdle(short.Sample(rng))
+	}
+	after := p.Timeout()
+	if after <= before {
+		t.Errorf("timeout did not adapt upward: %v -> %v", before, after)
+	}
+	// Never-sleep territory: expected energy with the adapted timeout should
+	// beat sleeping immediately under the short-idle regime.
+	eAdapted := ExpectedEnergyPerIdle(short, c, after)
+	eZero := ExpectedEnergyPerIdle(short, c, 0)
+	if eAdapted >= eZero {
+		t.Errorf("adapted timeout (%v J) no better than immediate sleep (%v J)", eAdapted, eZero)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	e := stats.NewExponential(2)
+	// Median of Exp(2) = ln2/2.
+	if got, want := Quantile(e, 0.5), math.Ln2/2; math.Abs(got-want) > 1e-6 {
+		t.Errorf("median = %v, want %v", got, want)
+	}
+	if Quantile(e, 0) != 0 {
+		t.Error("0-quantile should be 0")
+	}
+	p := stats.NewPareto(2, 1.5)
+	// P(T <= q) = 0.9 => q = 2 / 0.1^(1/1.5).
+	want := 2 / math.Pow(0.1, 1/1.5)
+	if got := Quantile(p, 0.9); math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("pareto 0.9-quantile = %v, want %v", got, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("quantile(1) should panic")
+			}
+		}()
+		Quantile(e, 1)
+	}()
+}
+
+func TestConstrainedTimeout(t *testing.T) {
+	c := testCosts()
+	dist := stats.NewPareto(0.2, 1.6)
+	opt := OptimalTimeout(dist, c)
+
+	// A loose constraint leaves the optimum untouched.
+	loose, err := ConstrainedTimeout(dist, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != opt {
+		t.Errorf("loose constraint changed the timeout: %v vs %v", loose, opt)
+	}
+	// A tight constraint (wake in at most 1% of idle periods) pushes the
+	// timeout up to the 99th percentile of the idle distribution.
+	tight, err := ConstrainedTimeout(dist, c, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight <= opt {
+		t.Errorf("tight constraint should raise the timeout: %v vs %v", tight, opt)
+	}
+	if got := 1 - dist.CDF(tight); got > 0.0101 {
+		t.Errorf("wake probability %v exceeds the 1%% constraint", got)
+	}
+	// The constraint costs energy: constrained expected energy >= optimal.
+	if e1, e2 := ExpectedEnergyPerIdle(dist, c, tight), ExpectedEnergyPerIdle(dist, c, opt); e1 < e2 {
+		t.Errorf("constrained energy %v below unconstrained optimum %v", e1, e2)
+	}
+	// Validation.
+	if _, err := ConstrainedTimeout(nil, c, 0.5); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := ConstrainedTimeout(dist, Costs{}, 0.5); err == nil {
+		t.Error("bad costs accepted")
+	}
+	if _, err := ConstrainedTimeout(dist, c, 0); err == nil {
+		t.Error("zero wake probability accepted")
+	}
+	if _, err := ConstrainedTimeout(dist, c, 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+// Property-style check: the oracle is at least as good as any fixed timeout
+// on expected energy, evaluated by Monte Carlo over the same idle sample.
+func TestOracleDominatesFixedTimeouts(t *testing.T) {
+	c := testCosts()
+	dist := stats.NewPareto(0.3, 1.7)
+	rng := stats.NewRNG(11)
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = dist.Sample(rng)
+	}
+	energyFixed := func(tau float64) float64 {
+		tot := 0.0
+		for _, T := range sample {
+			if T <= tau {
+				tot += c.IdlePowerW * T
+			} else {
+				tot += c.IdlePowerW*tau + c.SleepPowerW*(T-tau) + c.TransitionEnergyJ
+			}
+		}
+		return tot
+	}
+	be := c.BreakEven()
+	oracleTot := 0.0
+	for _, T := range sample {
+		if T > be {
+			oracleTot += c.SleepPowerW*T + c.TransitionEnergyJ
+		} else {
+			oracleTot += c.IdlePowerW * T
+		}
+	}
+	for _, tau := range []float64{0, be / 4, be, 4 * be, 1e9} {
+		if got := energyFixed(tau); got < oracleTot-1e-9 {
+			t.Errorf("fixed timeout %v beats oracle: %v < %v", tau, got, oracleTot)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package dpm_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/dpm"
+	"smartbadge/internal/stats"
+)
+
+// The renewal-theory DPM decision: given the badge's costs and the
+// idle-period distribution, compute the optimal timeout and the break-even
+// time it is anchored to.
+func Example() {
+	costs := dpm.CostsForBadge(device.SmartBadge(), device.Standby)
+	fmt.Printf("break-even: %.0f ms\n", costs.BreakEven()*1000)
+
+	// Heavy-tailed idle periods: many short, some very long.
+	idle := stats.NewPareto(0.05, 1.5)
+	pol, err := dpm.NewRenewalTimeout(idle, costs, device.Standby, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := pol.Decide(0)
+	fmt.Printf("sleep after a timeout: %v\n", d.Sleep)
+	// Output:
+	// break-even: 89 ms
+	// sleep after a timeout: true
+}
+
+// The performance-constrained variant: minimum energy subject to waking in
+// at most a given fraction of idle periods.
+func ExampleConstrainedTimeout() {
+	costs := dpm.CostsForBadge(device.SmartBadge(), device.Standby)
+	idle := stats.NewPareto(0.05, 1.5)
+	unconstrained, _ := dpm.ConstrainedTimeout(idle, costs, 1)
+	tight, _ := dpm.ConstrainedTimeout(idle, costs, 0.05)
+	fmt.Printf("constraint raises the timeout: %v\n", tight > unconstrained)
+	// Output:
+	// constraint raises the timeout: true
+}

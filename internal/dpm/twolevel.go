@@ -1,0 +1,176 @@
+package dpm
+
+import (
+	"fmt"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/stats"
+)
+
+// The SmartBadge has two commandable low-power states — standby and off —
+// with off drawing less but costing a much longer (and more expensive)
+// wake-up. A two-level policy enters standby after a first timeout and
+// deepens to off after a second, capturing most of the off state's saving on
+// very long idle periods without paying its wake-up cost on medium ones.
+
+// ExpectedEnergyTwoLevel returns the expected energy of one idle period T
+// under "standby after τ1, off after τ1+τ2":
+//
+//	E = P_idle·E[min(T, τ1)]
+//	  + P_sby·E[(min(T, τ1+τ2) − τ1)⁺]
+//	  + P_off·E[(T − τ1 − τ2)⁺]
+//	  + E_sby·P(T > τ1) + (E_off − E_sby)·P(T > τ1+τ2)
+//
+// where E_sby and E_off are the respective round-trip transition energies
+// (waking from off replaces, not adds to, the standby wake).
+func ExpectedEnergyTwoLevel(dist stats.Distribution, standby, off Costs, tau1, tau2 float64) float64 {
+	if tau1 < 0 {
+		tau1 = 0
+	}
+	if tau2 < 0 {
+		tau2 = 0
+	}
+	t2 := tau1 + tau2
+	tail := stats.TailBound(dist, t2)
+	eIdle := stats.SurvivalIntegral(dist, 0, tau1)
+	eSby := stats.SurvivalIntegral(dist, tau1, t2)
+	eOff := stats.SurvivalIntegral(dist, t2, tail)
+	s1 := 1 - dist.CDF(tau1)
+	s2 := 1 - dist.CDF(t2)
+	return standby.IdlePowerW*eIdle +
+		standby.SleepPowerW*eSby +
+		off.SleepPowerW*eOff +
+		standby.TransitionEnergyJ*s1 +
+		(off.TransitionEnergyJ-standby.TransitionEnergyJ)*s2
+}
+
+// OptimalTwoLevel minimises ExpectedEnergyTwoLevel over a log grid of
+// (τ1, τ2) pairs, including the degenerate single-level policies (τ2
+// effectively infinite) and never-sleep.
+func OptimalTwoLevel(dist stats.Distribution, standby, off Costs) (tau1, tau2 float64) {
+	be := standby.BreakEven()
+	if be <= 0 {
+		be = off.BreakEven()
+	}
+	if be <= 0 {
+		return 0, 0
+	}
+	const never = 1e9
+	bestE := ExpectedEnergyTwoLevel(dist, standby, off, never, never) // never sleep
+	tau1, tau2 = never, never
+	grid := []float64{}
+	for t := be / 100; t <= be*1e4; t *= 1.6 {
+		grid = append(grid, t)
+	}
+	grid = append(grid, 0, never)
+	for _, t1 := range grid {
+		for _, t2 := range grid {
+			if e := ExpectedEnergyTwoLevel(dist, standby, off, t1, t2); e < bestE {
+				bestE, tau1, tau2 = e, t1, t2
+			}
+		}
+	}
+	return tau1, tau2
+}
+
+// TwoLevelTimeout sleeps to standby after Tau1 and deepens to off after a
+// further Tau2 (Tau2 >= never disables deepening).
+type TwoLevelTimeout struct {
+	Tau1, Tau2 float64
+}
+
+// NewTwoLevelTimeout validates and returns the two-level timeout policy.
+func NewTwoLevelTimeout(tau1, tau2 float64) (TwoLevelTimeout, error) {
+	if tau1 < 0 || tau2 < 0 {
+		return TwoLevelTimeout{}, fmt.Errorf("dpm: negative two-level timeout (%v, %v)", tau1, tau2)
+	}
+	return TwoLevelTimeout{Tau1: tau1, Tau2: tau2}, nil
+}
+
+// Decide implements Policy.
+func (p TwoLevelTimeout) Decide(float64) Decision {
+	d := Decision{Sleep: p.Tau1 < 1e9, Timeout: p.Tau1, Target: device.Standby}
+	if d.Sleep && p.Tau2 < 1e9 {
+		d.DeepenAfter = p.Tau2
+		d.DeepenTarget = device.Off
+	}
+	return d
+}
+
+// ObserveIdle implements Policy.
+func (TwoLevelTimeout) ObserveIdle(float64) {}
+
+// Name implements Policy.
+func (p TwoLevelTimeout) Name() string {
+	return fmt.Sprintf("twolevel(%.2gs,%.2gs)", p.Tau1, p.Tau2)
+}
+
+// TwoLevelRenewal is the renewal-optimal two-level policy for a given
+// idle-time distribution.
+type TwoLevelRenewal struct {
+	TwoLevelTimeout
+	standby, off Costs
+}
+
+// NewTwoLevelRenewal optimises the two timeouts for the distribution.
+func NewTwoLevelRenewal(dist stats.Distribution, standby, off Costs) (*TwoLevelRenewal, error) {
+	if dist == nil {
+		return nil, fmt.Errorf("dpm: nil idle-time distribution")
+	}
+	if err := standby.Validate(); err != nil {
+		return nil, err
+	}
+	if err := off.Validate(); err != nil {
+		return nil, err
+	}
+	if off.SleepPowerW > standby.SleepPowerW {
+		return nil, fmt.Errorf("dpm: off must draw no more than standby")
+	}
+	t1, t2 := OptimalTwoLevel(dist, standby, off)
+	return &TwoLevelRenewal{
+		TwoLevelTimeout: TwoLevelTimeout{Tau1: t1, Tau2: t2},
+		standby:         standby,
+		off:             off,
+	}, nil
+}
+
+// Name implements Policy.
+func (*TwoLevelRenewal) Name() string { return "twolevel-renewal" }
+
+// DualOracle knows each idle period's length and picks the cheapest of
+// {stay idle, standby, off} for it.
+type DualOracle struct {
+	Standby, Off Costs
+}
+
+// NewDualOracle validates and returns the two-state oracle.
+func NewDualOracle(standby, off Costs) (*DualOracle, error) {
+	if err := standby.Validate(); err != nil {
+		return nil, err
+	}
+	if err := off.Validate(); err != nil {
+		return nil, err
+	}
+	return &DualOracle{Standby: standby, Off: off}, nil
+}
+
+// Decide implements Policy.
+func (p *DualOracle) Decide(oracleIdle float64) Decision {
+	stay := p.Standby.IdlePowerW * oracleIdle
+	sby := p.Standby.TransitionEnergyJ + p.Standby.SleepPowerW*oracleIdle
+	off := p.Off.TransitionEnergyJ + p.Off.SleepPowerW*oracleIdle
+	switch {
+	case off < stay && off <= sby:
+		return Decision{Sleep: true, Timeout: 0, Target: device.Off}
+	case sby < stay:
+		return Decision{Sleep: true, Timeout: 0, Target: device.Standby}
+	default:
+		return Decision{}
+	}
+}
+
+// ObserveIdle implements Policy.
+func (*DualOracle) ObserveIdle(float64) {}
+
+// Name implements Policy.
+func (*DualOracle) Name() string { return "dual-oracle" }

@@ -1,0 +1,190 @@
+package dpm
+
+import (
+	"math"
+	"testing"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/stats"
+)
+
+func offCosts() Costs {
+	// Off draws nothing but costs a far longer, more expensive wake.
+	return Costs{
+		IdlePowerW:        1.24,
+		SleepPowerW:       0,
+		TransitionEnergyJ: 2.0,
+		WakeLatencyS:      0.75,
+	}
+}
+
+func TestExpectedEnergyTwoLevelLimits(t *testing.T) {
+	sby, off := testCosts(), offCosts()
+	dist := stats.NewPareto(1, 2) // mean 2 s
+	// τ1 huge: never sleeps at all — pure idle energy.
+	eNever := ExpectedEnergyTwoLevel(dist, sby, off, 1e9, 1e9)
+	if want := sby.IdlePowerW * dist.Mean(); math.Abs(eNever-want)/want > 0.02 {
+		t.Errorf("never-sleep = %v, want %v", eNever, want)
+	}
+	// τ2 huge: reduces exactly to the single-level standby formula.
+	for _, tau1 := range []float64{0, 0.5, 2} {
+		two := ExpectedEnergyTwoLevel(dist, sby, off, tau1, 1e9)
+		one := ExpectedEnergyPerIdle(dist, sby, tau1)
+		if math.Abs(two-one) > 0.02*one+1e-9 {
+			t.Errorf("τ1=%v: two-level %v != single-level %v", tau1, two, one)
+		}
+	}
+	// τ1=τ2=0: straight to off.
+	eOff := ExpectedEnergyTwoLevel(dist, sby, off, 0, 0)
+	if want := off.TransitionEnergyJ + off.SleepPowerW*dist.Mean(); math.Abs(eOff-want)/want > 0.05 {
+		t.Errorf("straight-to-off = %v, want %v", eOff, want)
+	}
+}
+
+func TestExpectedEnergyTwoLevelMonteCarlo(t *testing.T) {
+	sby, off := testCosts(), offCosts()
+	dist := stats.NewPareto(0.5, 1.7)
+	tau1, tau2 := 0.8, 3.0
+	analytic := ExpectedEnergyTwoLevel(dist, sby, off, tau1, tau2)
+	rng := stats.NewRNG(17)
+	var m stats.Moments
+	for i := 0; i < 200000; i++ {
+		T := dist.Sample(rng)
+		var e float64
+		switch {
+		case T <= tau1:
+			e = sby.IdlePowerW * T
+		case T <= tau1+tau2:
+			e = sby.IdlePowerW*tau1 + sby.SleepPowerW*(T-tau1) + sby.TransitionEnergyJ
+		default:
+			e = sby.IdlePowerW*tau1 + sby.SleepPowerW*tau2 +
+				off.SleepPowerW*(T-tau1-tau2) + off.TransitionEnergyJ
+		}
+		m.Add(e)
+	}
+	if rel := math.Abs(analytic-m.Mean()) / m.Mean(); rel > 0.05 {
+		t.Errorf("analytic %v vs Monte Carlo %v (rel %v)", analytic, m.Mean(), rel)
+	}
+}
+
+func TestOptimalTwoLevelBeatsSingleLevel(t *testing.T) {
+	sby, off := testCosts(), offCosts()
+	// Heavy tail with substantial mass at both medium and very long idles.
+	dist := stats.NewPareto(0.2, 1.3)
+	t1, t2 := OptimalTwoLevel(dist, sby, off)
+	eTwo := ExpectedEnergyTwoLevel(dist, sby, off, t1, t2)
+	eSingle := ExpectedEnergyPerIdle(dist, sby, OptimalTimeout(dist, sby))
+	if eTwo > eSingle*1.001 {
+		t.Errorf("two-level optimum %v worse than single-level %v", eTwo, eSingle)
+	}
+	// With this tail the off state should actually be used.
+	if t2 >= 1e9 {
+		t.Errorf("expected a finite deepen timeout, got %v", t2)
+	}
+}
+
+func TestTwoLevelTimeoutDecision(t *testing.T) {
+	p, err := NewTwoLevelTimeout(1.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Decide(0)
+	if !d.Sleep || d.Timeout != 1.5 || d.Target != device.Standby {
+		t.Errorf("decision = %+v", d)
+	}
+	if d.DeepenAfter != 10 || d.DeepenTarget != device.Off {
+		t.Errorf("deepening = %+v", d)
+	}
+	if _, err := NewTwoLevelTimeout(-1, 0); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+	// Disabled deepening.
+	nod, _ := NewTwoLevelTimeout(1, 1e9)
+	if d := nod.Decide(0); d.DeepenAfter != 0 {
+		t.Error("deepening should be disabled for huge tau2")
+	}
+}
+
+func TestNewTwoLevelRenewalValidation(t *testing.T) {
+	dist := stats.NewPareto(0.5, 1.5)
+	if _, err := NewTwoLevelRenewal(nil, testCosts(), offCosts()); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := NewTwoLevelRenewal(dist, Costs{}, offCosts()); err == nil {
+		t.Error("bad standby costs accepted")
+	}
+	if _, err := NewTwoLevelRenewal(dist, testCosts(), Costs{}); err == nil {
+		t.Error("bad off costs accepted")
+	}
+	inverted := offCosts()
+	inverted.SleepPowerW = testCosts().SleepPowerW + 0.1
+	if _, err := NewTwoLevelRenewal(dist, testCosts(), inverted); err == nil {
+		t.Error("off drawing more than standby accepted")
+	}
+	p, err := NewTwoLevelRenewal(dist, testCosts(), offCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "twolevel-renewal" {
+		t.Error("name wrong")
+	}
+}
+
+func TestDualOracle(t *testing.T) {
+	sby, off := testCosts(), offCosts()
+	p, err := NewDualOracle(sby, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Very short idle: stay.
+	if d := p.Decide(0.01); d.Sleep {
+		t.Errorf("short idle: %+v", d)
+	}
+	// Medium idle: standby beats off (off's transition not yet amortised).
+	// With these costs standby wins for T in (~0.45 s, ~30.6 s).
+	if d := p.Decide(5); !d.Sleep || d.Target != device.Standby {
+		t.Errorf("medium idle (5s): %+v", d)
+	}
+	// Very long idle: off wins.
+	if d := p.Decide(1e4); !d.Sleep || d.Target != device.Off {
+		t.Errorf("long idle: %+v", d)
+	}
+	if _, err := NewDualOracle(Costs{}, off); err == nil {
+		t.Error("bad costs accepted")
+	}
+	p.ObserveIdle(1)
+	if p.Name() != "dual-oracle" {
+		t.Error("name wrong")
+	}
+}
+
+// For every idle length, the dual oracle's choice is the argmin of the three
+// hand-computed costs.
+func TestDualOracleIsArgminProperty(t *testing.T) {
+	sby, off := testCosts(), offCosts()
+	p, _ := NewDualOracle(sby, off)
+	rng := stats.NewRNG(23)
+	for i := 0; i < 2000; i++ {
+		T := rng.Pareto(0.01, 1.1)
+		if T > 1e6 {
+			continue
+		}
+		stay := sby.IdlePowerW * T
+		sbyE := sby.TransitionEnergyJ + sby.SleepPowerW*T
+		offE := off.TransitionEnergyJ + off.SleepPowerW*T
+		d := p.Decide(T)
+		got := stay
+		if d.Sleep && d.Target == device.Standby {
+			got = sbyE
+		} else if d.Sleep && d.Target == device.Off {
+			got = offE
+		}
+		min := math.Min(stay, math.Min(sbyE, offE))
+		if got > min+1e-12 {
+			t.Fatalf("T=%v: chose cost %v, min is %v", T, got, min)
+		}
+	}
+}

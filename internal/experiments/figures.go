@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smartbadge/internal/changepoint"
+	"smartbadge/internal/perfmodel"
+	"smartbadge/internal/policy"
+	"smartbadge/internal/sa1100"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/wlan"
+	"smartbadge/internal/workload"
+)
+
+// Fig3Row is one point of the SA-1100 frequency/voltage curve (Figure 3).
+type Fig3Row struct {
+	FrequencyMHz float64
+	VoltageV     float64
+	ActivePowerW float64
+}
+
+// Fig3 returns the Figure 3 curve from the processor model.
+func Fig3() []Fig3Row {
+	proc := sa1100.Default()
+	rows := make([]Fig3Row, proc.NumPoints())
+	for i, p := range proc.Points() {
+		rows[i] = Fig3Row{FrequencyMHz: p.FrequencyMHz, VoltageV: p.VoltageV, ActivePowerW: p.ActivePowerW}
+	}
+	return rows
+}
+
+// FormatFig3 renders Figure 3 as text.
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: SA-1100 frequency vs. minimum voltage\n")
+	fmt.Fprintf(&b, "%12s %10s %11s\n", "Freq (MHz)", "V (V)", "P_act (mW)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.1f %10.3f %11.1f\n", r.FrequencyMHz, r.VoltageV, r.ActivePowerW*1000)
+	}
+	return b.String()
+}
+
+// PerfEnergyRow is one point of a Figure 4/5 performance-and-energy curve.
+type PerfEnergyRow struct {
+	FrequencyMHz float64
+	// PerfRatio is throughput normalised to the fastest point.
+	PerfRatio float64
+	// EnergyRatio is per-frame decode-path energy normalised to the fastest
+	// point (CPU plus the decode memory and FLASH that stay powered while
+	// the frame decodes).
+	EnergyRatio float64
+}
+
+// perfEnergyCurve tabulates a Figure 4/5 curve for the given application.
+// The FLASH (code fetches) stays busy for the whole decode and scales with
+// it; the data memory is active only for its fixed per-frame access time.
+func perfEnergyCurve(curve perfmodel.TwoTerm, memPowerW float64) []PerfEnergyRow {
+	proc := sa1100.Default()
+	fMax := proc.Max().FrequencyMHz
+	const flashW = 0.075
+	cpuMax := proc.Max().ActivePowerW + flashW
+	rows := make([]PerfEnergyRow, proc.NumPoints())
+	for i, p := range proc.Points() {
+		fr := p.FrequencyMHz / fMax
+		rows[i] = PerfEnergyRow{
+			FrequencyMHz: p.FrequencyMHz,
+			PerfRatio:    curve.PerfRatio(fr),
+			EnergyRatio: perfmodel.EnergyPerFrameRatio(curve, fr,
+				p.ActivePowerW+flashW, cpuMax, memPowerW, curve.MemFraction),
+		}
+	}
+	return rows
+}
+
+// Fig4 returns the MP3 performance/energy-vs-frequency curve (Figure 4):
+// memory-bound (slow SRAM, 115 mW), so performance saturates at high clocks.
+func Fig4() []PerfEnergyRow { return perfEnergyCurve(perfmodel.MP3Curve(), 0.115) }
+
+// Fig5 returns the MPEG curve (Figure 5): near-linear performance
+// (fast DRAM, 400 mW).
+func Fig5() []PerfEnergyRow { return perfEnergyCurve(perfmodel.MPEGCurve(), 0.400) }
+
+// FormatPerfEnergy renders a Figure 4/5 table.
+func FormatPerfEnergy(title string, rows []PerfEnergyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%12s %12s %12s\n", title, "Freq (MHz)", "Performance", "Energy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.1f %12.3f %12.3f\n", r.FrequencyMHz, r.PerfRatio, r.EnergyRatio)
+	}
+	return b.String()
+}
+
+// Fig6Result is the Figure 6 experiment: an exponential fit to frame
+// interarrival times, with the paper's "average fitting error" metric
+// (8 % in the paper).
+type Fig6Result struct {
+	// FittedRate is the maximum-likelihood exponential rate (frames/s).
+	FittedRate float64
+	// MeanAbsError is the mean |empirical CDF − fitted CDF| at the sample
+	// points.
+	MeanAbsError float64
+	// KS is the Kolmogorov-Smirnov distance.
+	KS float64
+	// Samples is the number of interarrival times used.
+	Samples int
+	// CDF holds (interarrival, empirical, fitted) triples for plotting.
+	CDF []Fig6CDFPoint
+}
+
+// Fig6CDFPoint is one plotted point of Figure 6.
+type Fig6CDFPoint struct {
+	InterarrivalS float64
+	Empirical     float64
+	Fitted        float64
+}
+
+// Fig6 streams MPEG-style frames through the mechanistic wireless-channel
+// model (paced server, cross-traffic busy periods, lossy attempts with
+// retransmission — internal/wlan), fits an exponential CDF to the resulting
+// interarrival times, and reports the fitting error. The paper measured 8 %;
+// the channel model lands in the same band without being sampled from the
+// fitted family itself.
+func Fig6(seed uint64) (*Fig6Result, error) {
+	rng := stats.NewRNG(seed)
+	const n = 4000
+	arrivals, err := wlan.Stream(rng, wlan.DefaultConfig(), n+1)
+	if err != nil {
+		return nil, err
+	}
+	sample := wlan.Interarrivals(arrivals)[1:]
+	fit, err := stats.FitExponential(sample)
+	if err != nil {
+		return nil, err
+	}
+	ecdf := stats.NewECDF(sample)
+	res := &Fig6Result{
+		FittedRate:   fit.Rate,
+		MeanAbsError: ecdf.MeanAbsError(fit),
+		KS:           ecdf.KSDistance(fit),
+		Samples:      len(sample),
+	}
+	// Sample the two CDFs at 30 evenly spaced quantile points for plotting.
+	vals := ecdf.Values()
+	for i := 1; i <= 30; i++ {
+		x := vals[(i*len(vals))/31]
+		res.CDF = append(res.CDF, Fig6CDFPoint{
+			InterarrivalS: x,
+			Empirical:     ecdf.CDF(x),
+			Fitted:        fit.CDF(x),
+		})
+	}
+	return res, nil
+}
+
+// FormatFig6 renders Figure 6.
+func FormatFig6(r *Fig6Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: MPEG frame interarrival distribution (%d samples)\n", r.Samples)
+	fmt.Fprintf(&b, "Fitted exponential rate: %.2f fr/s\n", r.FittedRate)
+	fmt.Fprintf(&b, "Average fitting error:   %.1f%% (paper: 8%%)\n", r.MeanAbsError*100)
+	fmt.Fprintf(&b, "KS distance:             %.3f\n", r.KS)
+	fmt.Fprintf(&b, "%14s %10s %10s\n", "Interarr (s)", "Empirical", "Exponential")
+	for _, p := range r.CDF {
+		fmt.Fprintf(&b, "%14.4f %10.3f %10.3f\n", p.InterarrivalS, p.Empirical, p.Fitted)
+	}
+	return b.String()
+}
+
+// Fig9Row relates a CPU frequency setting to the frame rates it supports at
+// the constant 0.1 s buffered-frame delay of the MPEG example (Figure 9).
+type Fig9Row struct {
+	FrequencyMHz float64
+	// CPURate is the decode rate at this frequency (the "CPU rate" series).
+	CPURate float64
+	// WLANRate is the largest arrival rate the M/M/1 delay constraint admits
+	// at this frequency (the "WLAN rate" series).
+	WLANRate float64
+}
+
+// Fig9 sweeps the ladder for the football clip: decode rate scales with the
+// performance curve; the admissible arrival rate is λU = λD − 1/W.
+func Fig9() []Fig9Row {
+	proc := sa1100.Default()
+	curve := perfmodel.MPEGCurve()
+	const targetDelay = 0.1
+	decodeMax := workload.Football().MeanDecodeRateMax()
+	fMax := proc.Max().FrequencyMHz
+	rows := make([]Fig9Row, proc.NumPoints())
+	for i, p := range proc.Points() {
+		mu := decodeMax * curve.PerfRatio(p.FrequencyMHz/fMax)
+		lambda := mu - 1/targetDelay
+		if lambda < 0 {
+			lambda = 0
+		}
+		rows[i] = Fig9Row{FrequencyMHz: p.FrequencyMHz, CPURate: mu, WLANRate: lambda}
+	}
+	return rows
+}
+
+// FormatFig9 renders Figure 9.
+func FormatFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: MPEG frame rates vs. CPU frequency (0.1 s delay)\n")
+	fmt.Fprintf(&b, "%12s %14s %14s\n", "Freq (MHz)", "CPU rate", "WLAN rate")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.1f %14.2f %14.2f\n", r.FrequencyMHz, r.CPURate, r.WLANRate)
+	}
+	return b.String()
+}
+
+// Fig10Row is one frame of the Figure 10 detection transient: the rate each
+// algorithm believes after observing that frame's interarrival time.
+type Fig10Row struct {
+	Frame       int
+	TrueRate    float64
+	Ideal       float64
+	ChangePoint float64
+	ExpAvg03    float64
+	ExpAvg05    float64
+}
+
+// Fig10Result carries the transient series plus summary latencies.
+type Fig10Result struct {
+	Rows []Fig10Row
+	// ChangePointLatency is the number of frames after the step until the
+	// change-point estimate first moves off the old rate.
+	ChangePointLatency int
+	// ChangePointSettled is the number of frames after the step until the
+	// estimate first reaches the new rate.
+	ChangePointSettled int
+	// ChangePointFalseFlips counts departures from the new rate after first
+	// settling — the residue of the 0.5 % per-check false-alarm budget.
+	ChangePointFalseFlips int
+}
+
+// Fig10 reproduces the rate-change detection comparison: arrivals step from
+// 10 to 60 fr/s; ideal detection switches instantly, the change-point
+// algorithm within ~10 frames, and the exponential averages lag and
+// oscillate.
+func Fig10(seed uint64) (*Fig10Result, error) {
+	const rate1, rate2 = 10.0, 60.0
+	const n1, n2 = 120, 120
+	rng := stats.NewRNG(seed)
+	tr, err := workload.StepTrace(rng, rate1, rate2, 100, n1, n2)
+	if err != nil {
+		return nil, err
+	}
+	grid := []float64{10, 20, 40, 60}
+	th, cfg, err := thresholdsFor(grid)
+	if err != nil {
+		return nil, err
+	}
+	cfg.CheckInterval = 1
+	det, err := changepoint.NewDetector(cfg, th, rate1)
+	if err != nil {
+		return nil, err
+	}
+	cp := policy.NewChangePoint(det)
+	ideal := policy.NewIdeal(rate1)
+	e03 := policy.NewExpAverage(0.03, rate1)
+	e05 := policy.NewExpAverage(0.05, rate1)
+
+	res := &Fig10Result{ChangePointLatency: -1, ChangePointSettled: -1}
+	gaps := tr.Interarrivals()
+	for i, gap := range gaps {
+		truth := tr.Frames[i].TrueArrivalRate
+		ri, _ := ideal.Observe(gap, truth)
+		rc, _ := cp.Observe(gap, truth)
+		r3, _ := e03.Observe(gap, truth)
+		r5, _ := e05.Observe(gap, truth)
+		res.Rows = append(res.Rows, Fig10Row{
+			Frame: i, TrueRate: truth,
+			Ideal: ri, ChangePoint: rc, ExpAvg03: r3, ExpAvg05: r5,
+		})
+		if i >= n1 {
+			if res.ChangePointLatency < 0 && rc != rate1 {
+				res.ChangePointLatency = i - n1 + 1
+			}
+			if res.ChangePointSettled < 0 {
+				if rc == rate2 {
+					res.ChangePointSettled = i - n1 + 1
+				}
+			} else if rc != rate2 && i > 0 && res.Rows[i-1].ChangePoint == rate2 {
+				res.ChangePointFalseFlips++
+			}
+		}
+	}
+	return res, nil
+}
+
+// FormatFig10 renders Figure 10.
+func FormatFig10(r *Fig10Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: rate change detection, 10 -> 60 fr/s\n")
+	fmt.Fprintf(&b, "change-point reaction: %d frames; settled at new rate: %d frames; false flips after settling: %d\n",
+		r.ChangePointLatency, r.ChangePointSettled, r.ChangePointFalseFlips)
+	fmt.Fprintf(&b, "%6s %6s %8s %12s %12s %12s\n",
+		"frame", "true", "ideal", "changepoint", "expavg.03", "expavg.05")
+	for _, row := range r.Rows {
+		if row.Frame%5 != 0 && row.Frame < len(r.Rows)-1 {
+			continue // plot every 5th frame
+		}
+		fmt.Fprintf(&b, "%6d %6.0f %8.0f %12.1f %12.1f %12.1f\n",
+			row.Frame, row.TrueRate, row.Ideal, row.ChangePoint, row.ExpAvg03, row.ExpAvg05)
+	}
+	return b.String()
+}

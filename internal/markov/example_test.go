@@ -1,0 +1,24 @@
+package markov_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/markov"
+)
+
+// The finite frame buffer as an M/M/1/K chain: queue-length distribution,
+// blocking (drop) probability and mean delay in closed form.
+func Example() {
+	s, err := markov.AnalyzeMM1K(20, 30, 5) // λ=20 fr/s, µ=30 fr/s, 5-frame buffer
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(empty)  = %.3f\n", s.Pi[0])
+	fmt.Printf("P(drop)   = %.3f\n", s.Blocking)
+	fmt.Printf("mean delay = %.1f ms\n", s.MeanDelay*1000)
+	// Output:
+	// P(empty)  = 0.365
+	// P(drop)   = 0.048
+	// mean delay = 74.7 ms
+}

@@ -1,0 +1,23 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"smartbadge/internal/perfmodel"
+)
+
+// The two Figure 4/5 curve shapes: the memory-bound MP3 decoder keeps most
+// of its throughput at half the clock, the CPU-bound MPEG decoder does not.
+func Example() {
+	mp3 := perfmodel.MP3Curve()
+	mpeg := perfmodel.MPEGCurve()
+	fmt.Printf("at half clock: MP3 %.0f%%, MPEG %.0f%% of peak throughput\n",
+		mp3.PerfRatio(0.5)*100, mpeg.PerfRatio(0.5)*100)
+
+	// Inversion: the frequency ratio needed for 70% of peak throughput.
+	fmt.Printf("70%% of peak needs: MP3 %.0f%%, MPEG %.0f%% of the clock\n",
+		mp3.FreqRatioFor(0.7)*100, mpeg.FreqRatioFor(0.7)*100)
+	// Output:
+	// at half clock: MP3 65%, MPEG 52% of peak throughput
+	// 70% of peak needs: MP3 56%, MPEG 68% of the clock
+}

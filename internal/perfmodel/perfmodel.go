@@ -1,0 +1,239 @@
+// Package perfmodel captures how application throughput scales with CPU
+// frequency on the SmartBadge (Figures 4 and 5 of the paper).
+//
+// The shape of the performance-versus-frequency curve depends on where the
+// application's working set lives. MP3 audio decodes out of the slow 80 ns
+// SRAM: memory access time is independent of the core clock, so speed-up
+// saturates at high frequencies (memory-bound, sub-linear). MPEG video
+// decodes out of the fast 15 ns SDRAM and is limited by the processor, so its
+// curve is almost linear.
+//
+// Both behaviours fall out of a two-term execution model for the time to
+// decode one frame at clock f:
+//
+//	t(f) = (1 − M)·(f_max/f) + M            (normalised to t(f_max) = 1)
+//
+// where M is the fraction of the frame time spent waiting on memory at the
+// maximum clock. Performance (frames/second, normalised) is 1/t(f).
+//
+// The paper's power manager does not use an analytic model — it interpolates
+// piecewise-linearly over the measured curve (Section 3.1). PiecewiseLinear
+// provides exactly that, and can be constructed by sampling a TwoTerm model
+// at the ladder frequencies, mirroring how the authors tabulated Figures 4-5.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve maps relative CPU frequency to relative application performance.
+// Frequency and performance are both normalised to the fastest operating
+// point: PerfRatio(1) == 1.
+type Curve interface {
+	// PerfRatio returns normalised performance at freqRatio = f/f_max,
+	// for freqRatio in (0, 1].
+	PerfRatio(freqRatio float64) float64
+	// FreqRatioFor returns the smallest freqRatio achieving the given
+	// normalised performance. Values above the curve's maximum return
+	// +Inf (unachievable); non-positive values return 0.
+	FreqRatioFor(perfRatio float64) float64
+	// Name identifies the curve (e.g. "MP3/SRAM").
+	Name() string
+}
+
+// TwoTerm is the analytic CPU+memory execution model described in the
+// package comment.
+type TwoTerm struct {
+	// MemFraction is M: the fraction of per-frame time spent on
+	// clock-independent memory accesses at the maximum frequency.
+	// 0 gives perfectly linear scaling; values near 1 are fully
+	// memory-bound. Must be in [0, 1).
+	MemFraction float64
+	// CurveName labels the curve.
+	CurveName string
+}
+
+// NewTwoTerm validates and returns a TwoTerm curve.
+func NewTwoTerm(name string, memFraction float64) (TwoTerm, error) {
+	if memFraction < 0 || memFraction >= 1 {
+		return TwoTerm{}, fmt.Errorf("perfmodel: memory fraction must be in [0,1), got %v", memFraction)
+	}
+	return TwoTerm{MemFraction: memFraction, CurveName: name}, nil
+}
+
+// MustTwoTerm is NewTwoTerm for static configuration; panics on error.
+func MustTwoTerm(name string, memFraction float64) TwoTerm {
+	c, err := NewTwoTerm(name, memFraction)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// PerfRatio implements Curve.
+func (c TwoTerm) PerfRatio(freqRatio float64) float64 {
+	if freqRatio <= 0 {
+		return 0
+	}
+	t := (1-c.MemFraction)/freqRatio + c.MemFraction
+	return 1 / t
+}
+
+// FreqRatioFor implements Curve.
+func (c TwoTerm) FreqRatioFor(perfRatio float64) float64 {
+	if perfRatio <= 0 {
+		return 0
+	}
+	if perfRatio > 1 {
+		return math.Inf(1)
+	}
+	// 1/perf = (1-M)/x + M  =>  x = (1-M) / (1/perf - M)
+	den := 1/perfRatio - c.MemFraction
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	x := (1 - c.MemFraction) / den
+	if x > 1 {
+		return 1 // rounding guard: perfRatio == 1 must be achievable
+	}
+	return x
+}
+
+// Name implements Curve.
+func (c TwoTerm) Name() string { return c.CurveName }
+
+// MP3Curve returns the memory-bound MP3-on-SRAM curve of Figure 4.
+// M = 0.45 reproduces the figure's saturation: roughly 64 % of peak
+// throughput at half the peak clock.
+func MP3Curve() TwoTerm { return MustTwoTerm("MP3/SRAM", 0.45) }
+
+// MPEGCurve returns the near-linear MPEG-on-SDRAM curve of Figure 5.
+// M = 0.08 gives the slight droop visible in the figure.
+func MPEGCurve() TwoTerm { return MustTwoTerm("MPEG/SDRAM", 0.08) }
+
+// Point is one (frequency, performance) sample of a measured curve.
+type Point struct {
+	FreqRatio float64
+	PerfRatio float64
+}
+
+// PiecewiseLinear interpolates a tabulated frequency→performance curve, the
+// representation the paper's frequency-setting policy actually uses
+// ("piece-wise linear approximation based on the application
+// frequency-performance tradeoff curve", Section 3.1).
+type PiecewiseLinear struct {
+	pts  []Point
+	name string
+}
+
+// NewPiecewiseLinear builds a curve from samples. Samples are sorted by
+// frequency; they must be strictly increasing in both coordinates, with the
+// final point at (1, 1).
+func NewPiecewiseLinear(name string, pts []Point) (*PiecewiseLinear, error) {
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("perfmodel: need at least two points, got %d", len(pts))
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FreqRatio < sorted[j].FreqRatio })
+	for i, p := range sorted {
+		if p.FreqRatio <= 0 || p.PerfRatio <= 0 {
+			return nil, fmt.Errorf("perfmodel: point %d not positive: %+v", i, p)
+		}
+		if i > 0 {
+			if p.FreqRatio <= sorted[i-1].FreqRatio || p.PerfRatio <= sorted[i-1].PerfRatio {
+				return nil, fmt.Errorf("perfmodel: points must be strictly increasing at %d", i)
+			}
+		}
+	}
+	last := sorted[len(sorted)-1]
+	if math.Abs(last.FreqRatio-1) > 1e-9 || math.Abs(last.PerfRatio-1) > 1e-9 {
+		return nil, fmt.Errorf("perfmodel: final point must be (1,1), got %+v", last)
+	}
+	return &PiecewiseLinear{pts: sorted, name: name}, nil
+}
+
+// Sample tabulates any Curve at the given frequency ratios (ascending, final
+// ratio 1), producing the piecewise-linear form used on-line.
+func Sample(name string, c Curve, freqRatios []float64) (*PiecewiseLinear, error) {
+	pts := make([]Point, len(freqRatios))
+	for i, fr := range freqRatios {
+		pts[i] = Point{FreqRatio: fr, PerfRatio: c.PerfRatio(fr)}
+	}
+	return NewPiecewiseLinear(name, pts)
+}
+
+// PerfRatio implements Curve. Below the first sample the curve is
+// extrapolated through the origin; above 1 it is clamped.
+func (p *PiecewiseLinear) PerfRatio(freqRatio float64) float64 {
+	if freqRatio <= 0 {
+		return 0
+	}
+	first := p.pts[0]
+	if freqRatio <= first.FreqRatio {
+		return first.PerfRatio * freqRatio / first.FreqRatio
+	}
+	if freqRatio >= 1 {
+		return 1
+	}
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].FreqRatio >= freqRatio })
+	lo, hi := p.pts[i-1], p.pts[i]
+	t := (freqRatio - lo.FreqRatio) / (hi.FreqRatio - lo.FreqRatio)
+	return lo.PerfRatio + t*(hi.PerfRatio-lo.PerfRatio)
+}
+
+// FreqRatioFor implements Curve.
+func (p *PiecewiseLinear) FreqRatioFor(perfRatio float64) float64 {
+	if perfRatio <= 0 {
+		return 0
+	}
+	if perfRatio > 1 {
+		return math.Inf(1)
+	}
+	first := p.pts[0]
+	if perfRatio <= first.PerfRatio {
+		return first.FreqRatio * perfRatio / first.PerfRatio
+	}
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].PerfRatio >= perfRatio })
+	lo, hi := p.pts[i-1], p.pts[i]
+	t := (perfRatio - lo.PerfRatio) / (hi.PerfRatio - lo.PerfRatio)
+	return lo.FreqRatio + t*(hi.FreqRatio-lo.FreqRatio)
+}
+
+// Name implements Curve.
+func (p *PiecewiseLinear) Name() string { return p.name }
+
+// Points returns the curve samples (a copy).
+func (p *PiecewiseLinear) Points() []Point {
+	out := make([]Point, len(p.pts))
+	copy(out, p.pts)
+	return out
+}
+
+// EnergyPerFrameRatio returns the energy to decode one frame at the given
+// frequency ratio, relative to decoding it at full speed.
+//
+// Two kinds of power contribute: clock-scaled power (the CPU — including its
+// stall time — and anything else that stays busy for the whole, stretched
+// decode, like code FLASH) draws for the full decode time t(f); the data
+// memory is only active during the actual accesses, whose total time is
+// fixed per frame (it is exactly the memory fraction M of the full-speed
+// decode time — the same constant that bends the performance curve):
+//
+//	E(f)        = P_scaled(f)·t(f) + P_mem·M
+//	E(f)/E(max) = (P_scaled(f)·t(f) + P_mem·M) / (P_scaled(max) + P_mem·M)
+//
+// with t(f) in units of the full-speed decode time. This is the "Energy"
+// series of Figures 4 and 5: it falls with frequency for both applications
+// because the voltage-squared saving on the scaled term dominates.
+func EnergyPerFrameRatio(c Curve, freqRatio, scaledPowerW, scaledPowerMaxW, memPowerW, memTimeFraction float64) float64 {
+	perf := c.PerfRatio(freqRatio)
+	if perf <= 0 {
+		return math.Inf(1)
+	}
+	tRel := 1 / perf // decode time relative to full speed
+	memE := memPowerW * memTimeFraction
+	return (scaledPowerW*tRel + memE) / (scaledPowerMaxW + memE)
+}

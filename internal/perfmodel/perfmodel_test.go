@@ -1,0 +1,208 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smartbadge/internal/sa1100"
+)
+
+func TestTwoTermNormalisation(t *testing.T) {
+	for _, c := range []Curve{MP3Curve(), MPEGCurve()} {
+		if got := c.PerfRatio(1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s: PerfRatio(1) = %v, want 1", c.Name(), got)
+		}
+	}
+}
+
+func TestTwoTermShapes(t *testing.T) {
+	mp3 := MP3Curve()
+	mpeg := MPEGCurve()
+	// At half clock the memory-bound MP3 must retain well over half its
+	// throughput; the CPU-bound MPEG must sit close to half.
+	p3 := mp3.PerfRatio(0.5)
+	pv := mpeg.PerfRatio(0.5)
+	if p3 < 0.6 {
+		t.Errorf("MP3 PerfRatio(0.5) = %v, want > 0.6 (memory-bound)", p3)
+	}
+	if pv > 0.56 || pv < 0.48 {
+		t.Errorf("MPEG PerfRatio(0.5) = %v, want ≈ 0.5 (near-linear)", pv)
+	}
+	if p3 <= pv {
+		t.Errorf("memory-bound curve should dominate at low clocks: %v <= %v", p3, pv)
+	}
+}
+
+func TestTwoTermInverseRoundTrip(t *testing.T) {
+	prop := func(raw float64) bool {
+		fr := 0.05 + math.Mod(math.Abs(raw), 0.95)
+		for _, c := range []Curve{MP3Curve(), MPEGCurve()} {
+			perf := c.PerfRatio(fr)
+			back := c.FreqRatioFor(perf)
+			if math.Abs(back-fr) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoTermEdgeCases(t *testing.T) {
+	c := MP3Curve()
+	if c.PerfRatio(0) != 0 || c.PerfRatio(-1) != 0 {
+		t.Error("non-positive frequency should give zero performance")
+	}
+	if c.FreqRatioFor(0) != 0 {
+		t.Error("zero performance should need zero frequency")
+	}
+	if !math.IsInf(c.FreqRatioFor(1.2), 1) {
+		t.Error("performance above 1 is unachievable")
+	}
+	if got := c.FreqRatioFor(1); got != 1 {
+		t.Errorf("FreqRatioFor(1) = %v, want 1", got)
+	}
+}
+
+func TestNewTwoTermValidation(t *testing.T) {
+	if _, err := NewTwoTerm("x", -0.1); err == nil {
+		t.Error("negative memory fraction accepted")
+	}
+	if _, err := NewTwoTerm("x", 1.0); err == nil {
+		t.Error("memory fraction 1 accepted")
+	}
+}
+
+func ladderRatios() []float64 {
+	p := sa1100.Default()
+	fr := make([]float64, p.NumPoints())
+	fmax := p.Max().FrequencyMHz
+	for i, pt := range p.Points() {
+		fr[i] = pt.FrequencyMHz / fmax
+	}
+	return fr
+}
+
+func TestSampleMatchesAnalyticAtKnots(t *testing.T) {
+	c := MP3Curve()
+	pl, err := Sample("mp3-pl", c, ladderRatios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range ladderRatios() {
+		if got, want := pl.PerfRatio(fr), c.PerfRatio(fr); math.Abs(got-want) > 1e-9 {
+			t.Errorf("PerfRatio(%v) = %v, want %v", fr, got, want)
+		}
+	}
+}
+
+func TestPiecewiseLinearInterpolatesBetweenKnots(t *testing.T) {
+	pl, err := NewPiecewiseLinear("test", []Point{{0.5, 0.6}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.PerfRatio(0.75); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("midpoint interpolation = %v, want 0.8", got)
+	}
+	// Inverse of the same midpoint.
+	if got := pl.FreqRatioFor(0.8); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("inverse midpoint = %v, want 0.75", got)
+	}
+	// Extrapolation through the origin below the first knot.
+	if got := pl.PerfRatio(0.25); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("origin extrapolation = %v, want 0.3", got)
+	}
+	if got := pl.FreqRatioFor(0.3); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("inverse origin extrapolation = %v, want 0.25", got)
+	}
+	// Clamps.
+	if pl.PerfRatio(1.5) != 1 {
+		t.Error("above-1 frequency should clamp to performance 1")
+	}
+	if pl.PerfRatio(0) != 0 {
+		t.Error("zero frequency should give zero performance")
+	}
+	if !math.IsInf(pl.FreqRatioFor(2), 1) {
+		t.Error("unachievable performance should be +Inf")
+	}
+}
+
+func TestPiecewiseLinearRoundTripProperty(t *testing.T) {
+	pl, err := Sample("mpeg-pl", MPEGCurve(), ladderRatios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(raw float64) bool {
+		fr := 0.05 + math.Mod(math.Abs(raw), 0.95)
+		perf := pl.PerfRatio(fr)
+		back := pl.FreqRatioFor(perf)
+		return math.Abs(back-fr) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPiecewiseLinearValidation(t *testing.T) {
+	cases := [][]Point{
+		{{1, 1}},                         // too few
+		{{0.5, 0.6}, {0.5, 0.8}},         // duplicate frequency
+		{{0.5, 0.9}, {1, 0.8}},           // non-monotone performance (and last != (1,1))
+		{{-0.5, 0.6}, {1, 1}},            // negative frequency
+		{{0.5, 0.6}, {0.9, 0.95}},        // last not (1,1)
+		{{0.5, 0}, {1, 1}},               // zero performance
+		{{0.4, 0.5}, {0.5, 0.5}, {1, 1}}, // flat segment
+	}
+	for i, pts := range cases {
+		if _, err := NewPiecewiseLinear("bad", pts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPointsCopy(t *testing.T) {
+	pl, _ := NewPiecewiseLinear("t", []Point{{0.5, 0.6}, {1, 1}})
+	pts := pl.Points()
+	pts[0].PerfRatio = 99
+	if pl.Points()[0].PerfRatio == 99 {
+		t.Error("Points() leaks internal state")
+	}
+}
+
+// Figures 4 & 5 shape check: per-frame energy falls monotonically with
+// frequency for both applications (the DVS rationale) and is well below 1 at
+// the slowest point.
+func TestEnergyPerFrameRatioShapes(t *testing.T) {
+	proc := sa1100.Default()
+	cpuMax := proc.Max().ActivePowerW
+
+	check := func(name string, curve TwoTerm, memW float64) {
+		prev := math.Inf(1)
+		for i := proc.NumPoints() - 1; i >= 0; i-- {
+			p := proc.Point(i)
+			fr := p.FrequencyMHz / proc.Max().FrequencyMHz
+			e := EnergyPerFrameRatio(curve, fr, p.ActivePowerW, cpuMax, memW, curve.MemFraction)
+			if i == proc.NumPoints()-1 && math.Abs(e-1) > 1e-12 {
+				t.Errorf("%s: full-speed ratio = %v, want 1", name, e)
+			}
+			if e > prev+1e-12 {
+				t.Errorf("%s: energy ratio rises from %v to %v toward low clocks", name, prev, e)
+			}
+			prev = e
+		}
+		eMin := prev
+		if eMin >= 0.7 {
+			t.Errorf("%s: slowest-point energy ratio %v, want a clear saving", name, eMin)
+		}
+	}
+	check("MP3", MP3Curve(), 0.115)
+	check("MPEG", MPEGCurve(), 0.400)
+
+	// Zero performance -> infinite energy.
+	if !math.IsInf(EnergyPerFrameRatio(MPEGCurve(), 0, 0.1, cpuMax, 0.4, 0.08), 1) {
+		t.Error("zero frequency should give +Inf energy per frame")
+	}
+}

@@ -1,0 +1,196 @@
+// Package policy implements the run-time decision layer of the paper's power
+// manager while the device is active: estimating the frame arrival rate λU
+// and the frame decoding rate λD from observed samples, and setting the CPU
+// frequency and voltage so the mean frame delay stays at the target
+// (Section 3.1, "the policy that adjusts the CPU frequency and voltage").
+//
+// Four estimators reproduce the paper's comparison set:
+//
+//   - Ideal: oracle detection — knows the generating rate the moment it
+//     changes (the paper's "ideal detection assumes knowledge of the future").
+//   - ExpAverage: the exponential moving average of Equation 6, the prior-art
+//     baseline whose instability Figure 10 demonstrates.
+//   - ChangePoint: the paper's maximum-likelihood change-point detector.
+//   - Fixed: never changes its estimate — used by the max-performance
+//     baseline, which pins the CPU at the top frequency regardless.
+package policy
+
+import (
+	"fmt"
+
+	"smartbadge/internal/changepoint"
+)
+
+// Estimator tracks one event rate (arrivals or decodes) on-line.
+//
+// Observe is called once per event with the measured inter-event time.
+// The truth argument carries the generating rate currently in force; only
+// oracle estimators may consult it — it exists so ideal detection can be
+// driven through the same interface, exactly as the paper compares its
+// algorithm against "ideal detection [that] assumes knowledge of the future".
+type Estimator interface {
+	// Observe processes one inter-event time and returns the current rate
+	// estimate plus whether the estimate changed on this observation.
+	Observe(sample, truth float64) (rate float64, changed bool)
+	// Rate returns the current estimate without observing anything.
+	Rate() float64
+	// Reset re-initialises the estimate, e.g. after an idle period when the
+	// active-state statistics start fresh.
+	Reset(rate float64)
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// Ideal is the oracle estimator: it reports the generating rate passed as
+// truth, switching at exactly the sample where the truth changes.
+type Ideal struct {
+	rate float64
+}
+
+// NewIdeal returns an oracle estimator starting at the given rate.
+func NewIdeal(initial float64) *Ideal { return &Ideal{rate: initial} }
+
+// Observe implements Estimator.
+func (e *Ideal) Observe(_, truth float64) (float64, bool) {
+	if truth > 0 && truth != e.rate {
+		e.rate = truth
+		return e.rate, true
+	}
+	return e.rate, false
+}
+
+// Rate implements Estimator.
+func (e *Ideal) Rate() float64 { return e.rate }
+
+// Reset implements Estimator.
+func (e *Ideal) Reset(rate float64) { e.rate = rate }
+
+// Name implements Estimator.
+func (e *Ideal) Name() string { return "ideal" }
+
+// ExpAverage is the exponential moving average baseline of Equation 6:
+//
+//	Rate_new = (1 − g)·Rate_old + g·Rate_current
+//
+// where Rate_current is the instantaneous rate implied by the latest
+// inter-event time. The reciprocal of an exponential gap has no finite mean,
+// so the estimate both oscillates and sits above the true rate — exactly the
+// instability the paper demonstrates in Figure 10 and blames for the
+// exponential average's poor energy and delay in Tables 3-4. (Batching the
+// measurement over instRateWindow > 1 recent gaps tames the estimator into a
+// competitive policy; the paper's Equation 6 baseline is the single-interval
+// form, so that is the default.)
+type ExpAverage struct {
+	Gain float64
+	rate float64
+	// last holds the most recent inter-event times for the current-rate
+	// measurement.
+	last [instRateWindow]float64
+	n    int
+}
+
+// instRateWindow is the batch length for the current-rate measurement.
+// 1 is the paper's Equation 6 exactly.
+const instRateWindow = 1
+
+// NewExpAverage returns the Equation 6 estimator. The paper plots gains 0.03
+// and 0.05. It panics for a gain outside (0, 1].
+func NewExpAverage(gain, initial float64) *ExpAverage {
+	if gain <= 0 || gain > 1 {
+		panic(fmt.Sprintf("policy: exp-average gain must be in (0,1], got %v", gain))
+	}
+	return &ExpAverage{Gain: gain, rate: initial}
+}
+
+// Observe implements Estimator.
+func (e *ExpAverage) Observe(sample, _ float64) (float64, bool) {
+	e.last[e.n%instRateWindow] = sample
+	e.n++
+	m := e.n
+	if m > instRateWindow {
+		m = instRateWindow
+	}
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		sum += e.last[i]
+	}
+	// (m−1)/Σ is the unbiased rate estimate for exponential gaps; for the
+	// very first sample fall back to the plain reciprocal.
+	num := float64(m - 1)
+	if m == 1 {
+		num = 1
+	}
+	const maxInstRate = 1e6
+	inst := maxInstRate
+	if sum > num/maxInstRate {
+		inst = num / sum
+	}
+	old := e.rate
+	e.rate = (1-e.Gain)*e.rate + e.Gain*inst
+	return e.rate, e.rate != old
+}
+
+// Rate implements Estimator.
+func (e *ExpAverage) Rate() float64 { return e.rate }
+
+// Reset implements Estimator.
+func (e *ExpAverage) Reset(rate float64) {
+	e.rate = rate
+	e.n = 0
+}
+
+// Name implements Estimator.
+func (e *ExpAverage) Name() string { return fmt.Sprintf("expavg(g=%.2g)", e.Gain) }
+
+// ChangePoint wraps the changepoint.Detector as an Estimator.
+type ChangePoint struct {
+	det *changepoint.Detector
+	// Detections counts accepted rate changes (diagnostics).
+	Detections int
+}
+
+// NewChangePoint builds the estimator from a detector.
+func NewChangePoint(det *changepoint.Detector) *ChangePoint {
+	if det == nil {
+		panic("policy: nil change-point detector")
+	}
+	return &ChangePoint{det: det}
+}
+
+// Observe implements Estimator.
+func (e *ChangePoint) Observe(sample, _ float64) (float64, bool) {
+	_, changed := e.det.Observe(sample)
+	if changed {
+		e.Detections++
+	}
+	return e.det.CurrentRate(), changed
+}
+
+// Rate implements Estimator.
+func (e *ChangePoint) Rate() float64 { return e.det.CurrentRate() }
+
+// Reset implements Estimator.
+func (e *ChangePoint) Reset(rate float64) { e.det.SetRate(rate) }
+
+// Name implements Estimator.
+func (e *ChangePoint) Name() string { return "changepoint" }
+
+// Fixed never changes its estimate; the max-performance baseline uses it.
+type Fixed struct {
+	rate float64
+}
+
+// NewFixed returns a constant estimator.
+func NewFixed(rate float64) *Fixed { return &Fixed{rate: rate} }
+
+// Observe implements Estimator.
+func (e *Fixed) Observe(_, _ float64) (float64, bool) { return e.rate, false }
+
+// Rate implements Estimator.
+func (e *Fixed) Rate() float64 { return e.rate }
+
+// Reset implements Estimator.
+func (e *Fixed) Reset(rate float64) { e.rate = rate }
+
+// Name implements Estimator.
+func (e *Fixed) Name() string { return "fixed" }

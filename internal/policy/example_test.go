@@ -1,0 +1,34 @@
+package policy_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/perfmodel"
+	"smartbadge/internal/policy"
+	"smartbadge/internal/sa1100"
+)
+
+// The frequency-setting policy: on a rate change, solve λD = λU + 1/W,
+// invert the application's performance curve and quantise up the ladder.
+func Example() {
+	ctrl, err := policy.NewController(
+		sa1100.Default(),
+		perfmodel.MPEGCurve(),
+		0.1, // the paper's video delay target: 0.1 s
+		policy.NewIdeal(20), policy.NewIdeal(44),
+		false,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.ResetRates(20, 44) // λU = 20 fr/s, λD(fmax) = 44 fr/s
+	fmt.Println("selected:", ctrl.Current())
+
+	// The arrival rate drops; the controller follows it down the ladder.
+	op, changed := ctrl.OnArrival(0.2, 5)
+	fmt.Printf("after the drop (changed=%v): %v\n", changed, op)
+	// Output:
+	// selected: 147.5 MHz @ 1.16 V (158 mW)
+	// after the drop (changed=true): 73.7 MHz @ 0.85 V (43 mW)
+}

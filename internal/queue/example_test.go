@@ -1,0 +1,26 @@
+package queue_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/queue"
+)
+
+// Equation 5 of the paper and its inversion: the decoding rate required to
+// hold the mean frame delay at a target.
+func Example() {
+	q := queue.MM1{Lambda: 20, Mu: 30}
+	fmt.Printf("mean frame delay: %.0f ms\n", q.MeanDelay()*1000)
+	fmt.Printf("frames buffered:  %.0f\n", q.MeanQueueLength())
+
+	mu, err := queue.RequiredServiceRate(20, 0.05) // tighten the target
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("0.05 s target needs %.0f fr/s decode\n", mu)
+	// Output:
+	// mean frame delay: 100 ms
+	// frames buffered:  2
+	// 0.05 s target needs 40 fr/s decode
+}

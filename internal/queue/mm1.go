@@ -1,0 +1,86 @@
+// Package queue provides the frame-buffer model of Section 2.3: the M/M/1
+// analytics the frequency-setting policy is built on (Equation 5 of the
+// paper) and a concrete FIFO frame buffer with per-frame delay accounting
+// used by the simulator.
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 is an M/M/1 queue with Poisson arrivals at rate Lambda (the frame
+// arrival rate λU) and exponential service at rate Mu (the frame decoding
+// rate λD). The paper models the active-state SmartBadge exactly this way:
+// frames arrive from the WLAN and are decoded one at a time.
+type MM1 struct {
+	Lambda float64 // arrival rate, frames/s
+	Mu     float64 // service rate, frames/s
+}
+
+// Utilisation returns ρ = λ/µ.
+func (q MM1) Utilisation() float64 {
+	if q.Mu <= 0 {
+		return math.Inf(1)
+	}
+	return q.Lambda / q.Mu
+}
+
+// Stable reports whether the queue is stable (λ < µ).
+func (q MM1) Stable() bool { return q.Lambda >= 0 && q.Lambda < q.Mu }
+
+// MeanDelay returns the mean total time a frame spends in the system
+// (waiting plus decoding) — the paper's "frame delay" of Equation 5:
+//
+//	W = (1/λD) / (1 − λU/λD) = 1 / (λD − λU)
+//
+// It returns +Inf for an unstable queue.
+func (q MM1) MeanDelay() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// MeanQueueLength returns the mean number of frames in the system
+// L = ρ/(1−ρ), which by Little's law equals λ·W. The paper quotes its delay
+// targets in "extra frames of video/audio in the buffer", which is this
+// quantity.
+func (q MM1) MeanQueueLength() float64 {
+	if !q.Stable() {
+		return math.Inf(1)
+	}
+	rho := q.Utilisation()
+	return rho / (1 - rho)
+}
+
+// ProbEmpty returns the steady-state probability of an empty system, 1 − ρ.
+func (q MM1) ProbEmpty() float64 {
+	if !q.Stable() {
+		return 0
+	}
+	return 1 - q.Utilisation()
+}
+
+// RequiredServiceRate inverts Equation 5: the minimum decoding rate λD that
+// keeps the mean frame delay at the target when frames arrive at rate λU:
+//
+//	λD = λU + 1/W_target
+//
+// This is the core of the paper's frequency-setting policy — whenever a rate
+// change is detected, the new λD is computed this way and translated into the
+// lowest sufficient CPU frequency. It returns an error for a non-positive
+// target delay or a negative arrival rate.
+func RequiredServiceRate(lambda, targetDelay float64) (float64, error) {
+	if targetDelay <= 0 {
+		return 0, fmt.Errorf("queue: target delay must be positive, got %v", targetDelay)
+	}
+	if lambda < 0 {
+		return 0, fmt.Errorf("queue: arrival rate must be non-negative, got %v", lambda)
+	}
+	return lambda + 1/targetDelay, nil
+}
+
+// DelayToBufferedFrames converts a mean-delay target into the paper's
+// "extra frames in the buffer" phrasing: L = λ·W.
+func DelayToBufferedFrames(lambda, delay float64) float64 { return lambda * delay }

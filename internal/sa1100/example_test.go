@@ -1,0 +1,27 @@
+package sa1100_test
+
+import (
+	"fmt"
+
+	"smartbadge/internal/sa1100"
+)
+
+// The Figure 3 ladder: each frequency has a minimum voltage, and power
+// scales as f·V² — the slowest point costs only ~28 % of the energy per
+// cycle of the fastest.
+func Example() {
+	proc := sa1100.Default()
+	slow, fast := proc.Min(), proc.Max()
+	fmt.Println(slow)
+	fmt.Println(fast)
+	fmt.Printf("energy/cycle ratio at %.0f MHz: %.2f\n",
+		slow.FrequencyMHz, proc.EnergyPerCycleRatio(0))
+
+	// Quantise a continuous frequency demand up to the ladder.
+	fmt.Println(proc.AtLeast(150))
+	// Output:
+	// 59.0 MHz @ 0.80 V (30 mW)
+	// 221.2 MHz @ 1.50 V (400 mW)
+	// energy/cycle ratio at 59 MHz: 0.28
+	// 162.2 MHz @ 1.22 V (194 mW)
+}

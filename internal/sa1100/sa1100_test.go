@@ -1,0 +1,232 @@
+package sa1100
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultLadder(t *testing.T) {
+	p := Default()
+	if p.NumPoints() != 12 {
+		t.Fatalf("ladder size = %d, want 12", p.NumPoints())
+	}
+	if p.Min().FrequencyMHz != 59.0 {
+		t.Errorf("min frequency = %v, want 59.0", p.Min().FrequencyMHz)
+	}
+	if p.Max().FrequencyMHz != 221.2 {
+		t.Errorf("max frequency = %v, want 221.2", p.Max().FrequencyMHz)
+	}
+	if math.Abs(p.Min().VoltageV-0.8) > 1e-9 {
+		t.Errorf("min voltage = %v, want 0.8", p.Min().VoltageV)
+	}
+	if math.Abs(p.Max().VoltageV-1.5) > 1e-9 {
+		t.Errorf("max voltage = %v, want 1.5", p.Max().VoltageV)
+	}
+	if math.Abs(p.Max().ActivePowerW-0.4) > 1e-9 {
+		t.Errorf("max active power = %v, want 0.4", p.Max().ActivePowerW)
+	}
+}
+
+func TestVoltageMonotoneInFrequency(t *testing.T) {
+	p := Default()
+	pts := p.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].VoltageV <= pts[i-1].VoltageV {
+			t.Errorf("voltage not strictly increasing at %d: %v <= %v",
+				i, pts[i].VoltageV, pts[i-1].VoltageV)
+		}
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	p := Default()
+	pts := p.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ActivePowerW <= pts[i-1].ActivePowerW {
+			t.Errorf("active power not strictly increasing at %d", i)
+		}
+	}
+}
+
+// The DVS rationale: energy-per-cycle at the slowest point should be well
+// below the fastest point's ((0.8/1.5)^2 ≈ 0.28).
+func TestEnergyPerCycleRatio(t *testing.T) {
+	p := Default()
+	r0 := p.EnergyPerCycleRatio(0)
+	want := (0.8 * 0.8) / (1.5 * 1.5)
+	if math.Abs(r0-want) > 1e-9 {
+		t.Errorf("slowest energy/cycle ratio = %v, want %v", r0, want)
+	}
+	if rTop := p.EnergyPerCycleRatio(p.NumPoints() - 1); math.Abs(rTop-1) > 1e-12 {
+		t.Errorf("fastest energy/cycle ratio = %v, want 1", rTop)
+	}
+}
+
+func TestAtLeastQuantisation(t *testing.T) {
+	p := Default()
+	cases := []struct {
+		req  float64
+		want float64
+	}{
+		{0, 59.0},       // below ladder: slowest
+		{59.0, 59.0},    // exact hit
+		{59.1, 73.7},    // just above a rung: next rung
+		{147.5, 147.5},  // exact mid hit
+		{200.0, 206.4},  // between rungs
+		{221.2, 221.2},  // exact top
+		{500.0, 221.2},  // unsatisfiable: clamp to top
+		{-10.0, 59.0},   // negative: slowest
+		{103.25, 118.0}, // epsilon above a rung
+	}
+	for _, c := range cases {
+		if got := p.AtLeast(c.req).FrequencyMHz; got != c.want {
+			t.Errorf("AtLeast(%v) = %v, want %v", c.req, got, c.want)
+		}
+	}
+}
+
+// Property: AtLeast always returns a ladder point, with frequency >= request
+// whenever the request is within the ladder span.
+func TestAtLeastProperty(t *testing.T) {
+	p := Default()
+	prop := func(raw float64) bool {
+		req := math.Mod(math.Abs(raw), 300)
+		op := p.AtLeast(req)
+		if p.IndexOf(op.FrequencyMHz) < 0 {
+			return false
+		}
+		if req <= p.Max().FrequencyMHz && op.FrequencyMHz < req {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoltageForInterpolation(t *testing.T) {
+	p := Default()
+	// At ladder points the interpolation must match the table exactly.
+	for _, pt := range p.Points() {
+		if got := p.VoltageFor(pt.FrequencyMHz); math.Abs(got-pt.VoltageV) > 1e-9 {
+			t.Errorf("VoltageFor(%v) = %v, want table %v", pt.FrequencyMHz, got, pt.VoltageV)
+		}
+	}
+	// Clamping outside the span.
+	if got := p.VoltageFor(10); got != p.Min().VoltageV {
+		t.Errorf("VoltageFor(10) = %v, want clamp to %v", got, p.Min().VoltageV)
+	}
+	if got := p.VoltageFor(1000); got != p.Max().VoltageV {
+		t.Errorf("VoltageFor(1000) = %v, want clamp to %v", got, p.Max().VoltageV)
+	}
+	// Monotone between points.
+	prev := 0.0
+	for f := 59.0; f <= 221.2; f += 0.5 {
+		v := p.VoltageFor(f)
+		if v < prev {
+			t.Fatalf("VoltageFor not monotone at %v MHz", f)
+		}
+		prev = v
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	p := Default()
+	if i := p.IndexOf(118.0); i != 4 {
+		t.Errorf("IndexOf(118.0) = %d, want 4", i)
+	}
+	if i := p.IndexOf(117.9); i != -1 {
+		t.Errorf("IndexOf(117.9) = %d, want -1", i)
+	}
+}
+
+func TestPointPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default().Point(99)
+}
+
+func TestNewValidation(t *testing.T) {
+	base := DefaultConfig()
+	cases := []func(*Config){
+		func(c *Config) { c.FrequenciesMHz = nil },
+		func(c *Config) { c.FrequenciesMHz = []float64{100, 50} },
+		func(c *Config) { c.FrequenciesMHz = []float64{-1, 50} },
+		func(c *Config) { c.VMin = 0 },
+		func(c *Config) { c.VMax = c.VMin - 0.1 },
+		func(c *Config) { c.MaxActivePowerW = 0 },
+		func(c *Config) { c.IdlePowerW = -1 },
+		func(c *Config) { c.SwitchLatency = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		cfg.FrequenciesMHz = append([]float64(nil), base.FrequenciesMHz...)
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSingleFrequencyLadder(t *testing.T) {
+	p, err := New(Config{
+		FrequenciesMHz:  []float64{100},
+		VMin:            1.0,
+		VMax:            1.0,
+		MaxActivePowerW: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Min() != p.Max() {
+		t.Error("single-point ladder should have min == max")
+	}
+	if math.Abs(p.Max().ActivePowerW-0.2) > 1e-12 {
+		t.Errorf("power = %v, want 0.2", p.Max().ActivePowerW)
+	}
+}
+
+func TestXScaleConfig(t *testing.T) {
+	p, err := New(XScaleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPoints() != 4 {
+		t.Errorf("points = %d, want 4", p.NumPoints())
+	}
+	if p.Max().FrequencyMHz != 398.1 {
+		t.Errorf("fmax = %v", p.Max().FrequencyMHz)
+	}
+	if math.Abs(p.Max().ActivePowerW-0.750) > 1e-9 {
+		t.Errorf("max power = %v", p.Max().ActivePowerW)
+	}
+	// The coarser, wider-voltage ladder still has monotone power.
+	pts := p.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ActivePowerW <= pts[i-1].ActivePowerW {
+			t.Error("power not monotone")
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := Default().Max().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSwitchLatencyDefault(t *testing.T) {
+	p := Default()
+	if p.SwitchLatency() != 150e-6 {
+		t.Errorf("switch latency = %v, want 150µs", p.SwitchLatency())
+	}
+	if p.IdlePowerW() != 0.170 || p.SleepPowerW() != 0.0001 {
+		t.Error("idle/sleep power defaults wrong")
+	}
+}

@@ -1,0 +1,562 @@
+// Package sim is the discrete-event simulator of the whole SmartBadge system
+// model (Figure 1 of the paper): the workload source streaming frames over
+// the WLAN, the frame buffer, the decoding device with its DVS-capable
+// processor, and the power manager that observes every event, adjusts CPU
+// frequency and voltage in the active state, and commands standby/off
+// transitions in the idle state.
+//
+// The simulator integrates per-component energy over the exact state
+// trajectory the policies induce, which is the quantity every table of the
+// paper's evaluation reports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/dpm"
+	"smartbadge/internal/perfmodel"
+	"smartbadge/internal/policy"
+	"smartbadge/internal/queue"
+	"smartbadge/internal/sa1100"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/workload"
+)
+
+// Mode is the simulator's global operating mode, which determines every
+// component's power state.
+type Mode int
+
+// The four modes the badge cycles through.
+const (
+	// ModeDecode: a frame is being decoded. CPU at the current operating
+	// point, decode memory + FLASH + WLAN active, display active for video.
+	ModeDecode Mode = iota
+	// ModeAwakeIdle: powered up but between frames (buffer empty or waiting
+	// for the decoder). Every component in its idle state.
+	ModeAwakeIdle
+	// ModeSleep: the power manager put the badge in standby or off.
+	ModeSleep
+	// ModeWake: transitioning from sleep back to active; everything powered
+	// while nothing useful runs — this is where the transition energy goes.
+	ModeWake
+	numModes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDecode:
+		return "decode"
+	case ModeAwakeIdle:
+		return "idle"
+	case ModeSleep:
+		return "sleep"
+	case ModeWake:
+		return "wake"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	Badge *device.Badge
+	Proc  *sa1100.Processor
+	Trace *workload.Trace
+	// Controller drives DVS; its estimators define the policy under test.
+	Controller *policy.Controller
+	// DPM decides standby/off transitions at idle entry. nil means AlwaysOn.
+	DPM dpm.Policy
+	// Kind selects which data memory is active during decode (SRAM for MP3,
+	// DRAM for MPEG) and whether the display is on during playback. Traces
+	// generated from a clip list override this per clip, so mixed audio/video
+	// sequences (the Table 5 scenario) account each burst correctly.
+	Kind workload.Kind
+	// IdleResetGap: an arrival after at least this much idle time starts a
+	// fresh burst — the gap sample is NOT fed to the arrival estimator, since
+	// the paper's exponential arrival model holds only in the active state.
+	// Zero selects the default of 1 second.
+	IdleResetGap float64
+	// WLANRxSeconds is the radio's active receive time per frame. The WLAN's
+	// energy follows the *arrival* stream, not the decode schedule: each
+	// frame costs a fixed RX burst and the radio otherwise sits in its idle
+	// (listening) state while the badge is awake, so slowing the CPU down
+	// does not inflate radio energy. Zero selects the default of 4 ms.
+	WLANRxSeconds float64
+	// BufferCap bounds the frame buffer (the real SmartBadge has finite
+	// memory for buffered frames). Arrivals to a full buffer are dropped and
+	// counted in Result.FramesDropped. 0 means unbounded.
+	BufferCap int
+	// RecordTimeline retains the mode timeline in Result.Timeline
+	// (see FormatTimeline). Off by default: long runs produce many spans.
+	RecordTimeline bool
+	// QueuePolicy, when non-nil, overrides the rate-based controller's
+	// operating-point choice at every decode start with a function of the
+	// buffer occupancy — the interface the queue-aware MDP policy
+	// (internal/mdp) plugs into. The Controller is still required: its
+	// estimators keep running and its delay target defines the QoS counters.
+	QueuePolicy QueuePolicy
+}
+
+// QueuePolicy selects the operating point from the buffer occupancy at the
+// moment a frame's decode starts.
+type QueuePolicy interface {
+	// OperatingPointFor returns the point to decode at when queueLen frames
+	// are buffered (including the one about to decode).
+	OperatingPointFor(queueLen int) sa1100.OperatingPoint
+}
+
+// Result is the outcome of one run: the numbers the paper's tables report
+// plus diagnostics.
+type Result struct {
+	// EnergyJ is total badge energy from t=0 until the last frame finished
+	// decoding.
+	EnergyJ float64
+	// EnergyByComponent maps component name to joules.
+	EnergyByComponent map[string]float64
+	// EnergyByMode splits energy across the four modes.
+	EnergyByMode [4]float64
+	// TimeInMode splits wall-clock time across the four modes.
+	TimeInMode [4]float64
+	// SimTime is the simulated duration (s).
+	SimTime float64
+	// FramesDecoded counts completed frames.
+	FramesDecoded int
+	// FramesDropped counts arrivals discarded because the buffer was full
+	// (only with a finite Config.BufferCap).
+	FramesDropped int
+	// FrameDelay aggregates per-frame total delay (arrival to decode
+	// completion) — the paper's performance metric.
+	FrameDelay stats.Moments
+	// DelayOverTarget and DelayOver2xTarget count frames whose total delay
+	// exceeded the controller's delay target (respectively twice it) — the
+	// QoS view of the same metric.
+	DelayOverTarget   int
+	DelayOver2xTarget int
+	// QueueLen is the time-weighted buffer occupancy.
+	QueueLen stats.TimeWeighted
+	// PeakQueue is the maximum buffer occupancy.
+	PeakQueue int
+	// Reconfigurations counts operating-point changes applied.
+	Reconfigurations int
+	// Sleeps counts standby/off transitions taken.
+	Sleeps int
+	// Deepens counts standby-to-off deepening transitions.
+	Deepens int
+	// AvgPowerW is EnergyJ / SimTime.
+	AvgPowerW float64
+	// FreqTime is the time-weighted average CPU frequency while decoding.
+	FreqTime stats.TimeWeighted
+	// Timeline holds the mode spans when Config.RecordTimeline is set.
+	Timeline []ModeSpan
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evDecodeDone
+	evSleepTimer
+	evDeepenTimer
+	evWakeDone
+)
+
+type event struct {
+	time   float64
+	seq    int64 // tiebreaker for deterministic ordering
+	kind   eventKind
+	epoch  int // guards stale sleep timers
+	frame  int
+	target device.PowerState // sleep timer's destination state
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulator executes one run. Create with New, drive with Run.
+type Simulator struct {
+	cfg   Config
+	badge []device.Component
+	now   float64
+	mode  Mode
+	// appliedOp is the operating point the decoder actually runs at;
+	// the controller's selection is applied at frame boundaries.
+	appliedOp sa1100.OperatingPoint
+	buffer    *queue.Buffer
+	events    eventHeap
+	seq       int64
+	epoch     int
+	decoding  bool
+	// sleepState is the low-power state while in ModeSleep.
+	sleepState device.PowerState
+	idleSince  float64
+	lastArrive float64
+	haveArrive bool
+	nextFrame  int
+	// curKind is the application kind of the burst currently streaming,
+	// taken from the arriving frame's clip.
+	curKind workload.Kind
+	res     Result
+}
+
+// New validates the configuration and returns a ready simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Badge == nil || cfg.Proc == nil || cfg.Trace == nil || cfg.Controller == nil {
+		return nil, fmt.Errorf("sim: badge, processor, trace and controller are all required")
+	}
+	if len(cfg.Trace.Frames) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	if cfg.DPM == nil {
+		cfg.DPM = dpm.AlwaysOn{}
+	}
+	if cfg.IdleResetGap == 0 {
+		cfg.IdleResetGap = 1.0
+	}
+	if cfg.IdleResetGap < 0 {
+		return nil, fmt.Errorf("sim: negative idle reset gap")
+	}
+	if cfg.WLANRxSeconds == 0 {
+		cfg.WLANRxSeconds = 0.004
+	}
+	if cfg.WLANRxSeconds < 0 {
+		return nil, fmt.Errorf("sim: negative WLAN RX time")
+	}
+	if cfg.BufferCap < 0 {
+		return nil, fmt.Errorf("sim: negative buffer capacity")
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		badge:     cfg.Badge.Components(),
+		mode:      ModeAwakeIdle,
+		appliedOp: cfg.Controller.Current(),
+		buffer:    queue.NewBuffer(),
+		curKind:   cfg.Kind,
+	}
+	s.res.EnergyByComponent = make(map[string]float64, len(s.badge))
+	return s, nil
+}
+
+// componentPower returns the component's draw in the current mode.
+//
+// Activity model: only the CPU, the decode memory (SRAM for audio, DRAM for
+// video) and the FLASH scale with decode time — those are the components DVS
+// legitimately trades off against. The display follows *playback* (on for
+// the whole awake time of a video burst, dark for audio) and the WLAN
+// follows *arrivals* (fixed RX energy per frame, charged in handleArrival,
+// listening-idle otherwise), so neither is distorted by how slowly the CPU
+// chooses to decode.
+func (s *Simulator) componentPower(c device.Component) float64 {
+	switch s.mode {
+	case ModeDecode, ModeAwakeIdle:
+		switch c.Name {
+		case device.NameCPU:
+			if s.mode == ModeDecode {
+				return s.appliedOp.ActivePowerW
+			}
+			return c.Power(device.Idle)
+		case device.NameSRAM, device.NameDRAM:
+			// Data-memory access time is fixed per frame (the memory
+			// fraction M of the full-speed decode time), so it is charged
+			// as a per-frame lump in handleDecodeDone; here the memory
+			// draws its idle power.
+			return c.Power(device.Idle)
+		case device.NameFlash:
+			if s.mode == ModeDecode {
+				return c.Power(device.Active)
+			}
+			return c.Power(device.Idle)
+		case device.NameDisplay:
+			if s.curKind == workload.MPEG {
+				return c.Power(device.Active)
+			}
+			return c.Power(device.Idle)
+		default: // WLAN: listening; per-frame RX bursts are charged separately
+			return c.Power(device.Idle)
+		}
+	case ModeSleep:
+		return c.Power(s.sleepState)
+	case ModeWake:
+		// Everything powers up in parallel; nothing useful runs. The CPU
+		// comes up at the point it will decode at.
+		if c.Name == device.NameCPU {
+			return s.appliedOp.ActivePowerW
+		}
+		return c.Power(device.Active)
+	default:
+		panic(fmt.Sprintf("sim: bad mode %v", s.mode))
+	}
+}
+
+// chargeTo integrates energy from s.now to t in the current mode.
+func (s *Simulator) chargeTo(t float64) {
+	dt := t - s.now
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, t))
+	}
+	if dt > 0 {
+		s.recordSpan(s.now, t)
+		for _, c := range s.badge {
+			p := s.componentPower(c)
+			e := p * dt
+			s.res.EnergyByComponent[c.Name] += e
+			s.res.EnergyJ += e
+			s.res.EnergyByMode[s.mode] += e
+		}
+		s.res.TimeInMode[s.mode] += dt
+		s.res.QueueLen.Add(float64(s.buffer.Len()), dt)
+		if s.mode == ModeDecode {
+			s.res.FreqTime.Add(s.appliedOp.FrequencyMHz, dt)
+		}
+	}
+	s.now = t
+}
+
+func (s *Simulator) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// scheduleNextArrival queues the next trace frame, if any.
+func (s *Simulator) scheduleNextArrival() {
+	if s.nextFrame < len(s.cfg.Trace.Frames) {
+		s.push(event{time: s.cfg.Trace.Frames[s.nextFrame].Arrival, kind: evArrival, frame: s.nextFrame})
+		s.nextFrame++
+	}
+}
+
+// startDecodeIfPossible begins decoding the head-of-line frame when the
+// device is awake and the decoder is free.
+func (s *Simulator) startDecodeIfPossible() {
+	if s.decoding || s.buffer.Empty() || s.mode == ModeSleep || s.mode == ModeWake {
+		return
+	}
+	f := s.buffer.Peek()
+	// Apply any pending operating-point change at the frame boundary.
+	target := s.cfg.Controller.Current()
+	if s.cfg.QueuePolicy != nil {
+		target = s.cfg.QueuePolicy.OperatingPointFor(s.buffer.Len())
+	}
+	extra := 0.0
+	if target != s.appliedOp {
+		s.appliedOp = target
+		extra = s.cfg.Proc.SwitchLatency()
+		s.res.Reconfigurations++
+	}
+	perf := s.cfg.Controller.Curve.PerfRatio(s.appliedOp.FrequencyMHz / s.cfg.Proc.Max().FrequencyMHz)
+	if perf <= 0 {
+		panic("sim: zero performance at selected operating point")
+	}
+	s.mode = ModeDecode
+	s.decoding = true
+	s.push(event{time: s.now + extra + f.Work/perf, kind: evDecodeDone, frame: f.Seq})
+}
+
+// enterIdle handles the transition into the idle state: the paper's single
+// DPM decision point.
+func (s *Simulator) enterIdle() {
+	s.mode = ModeAwakeIdle
+	s.idleSince = s.now
+	s.epoch++
+	next := s.peekNextArrivalTime()
+	if next < 0 {
+		return // no more arrivals: the run is draining, never sleep
+	}
+	// Oracle information: the true length of the idle period just starting.
+	dec := s.cfg.DPM.Decide(next - s.now)
+	if dec.Sleep {
+		s.push(event{time: s.now + dec.Timeout, kind: evSleepTimer, epoch: s.epoch, target: dec.Target})
+		if dec.DeepenAfter > 0 {
+			s.push(event{
+				time:   s.now + dec.Timeout + dec.DeepenAfter,
+				kind:   evDeepenTimer,
+				epoch:  s.epoch,
+				target: dec.DeepenTarget,
+			})
+		}
+	}
+}
+
+// peekNextArrivalTime returns the next pending arrival's time or -1.
+func (s *Simulator) peekNextArrivalTime() float64 {
+	// The single outstanding arrival sits in the heap; find it.
+	for _, e := range s.events {
+		if e.kind == evArrival {
+			return e.time
+		}
+	}
+	return -1
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	if s.nextFrame != 0 || s.now != 0 {
+		return nil, fmt.Errorf("sim: Run may only be called once")
+	}
+	s.scheduleNextArrival()
+	s.enterIdle()
+	frames := s.cfg.Trace.Frames
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		switch e.kind {
+		case evArrival:
+			s.chargeTo(e.time)
+			f := frames[e.frame]
+			s.handleArrival(f)
+			s.scheduleNextArrival()
+		case evDecodeDone:
+			s.chargeTo(e.time)
+			s.handleDecodeDone(frames[e.frame])
+		case evSleepTimer:
+			if e.epoch != s.epoch || s.mode != ModeAwakeIdle {
+				continue // stale: activity resumed before the timeout
+			}
+			s.chargeTo(e.time)
+			s.mode = ModeSleep
+			s.sleepState = e.target
+			s.res.Sleeps++
+		case evDeepenTimer:
+			if e.epoch != s.epoch || s.mode != ModeSleep {
+				continue // stale: the badge woke (or never slept)
+			}
+			s.chargeTo(e.time)
+			s.sleepState = e.target
+			s.res.Deepens++
+		case evWakeDone:
+			s.chargeTo(e.time)
+			s.mode = ModeAwakeIdle
+			s.startDecodeIfPossible()
+		}
+	}
+	s.res.SimTime = s.now
+	if s.now > 0 {
+		s.res.AvgPowerW = s.res.EnergyJ / s.now
+	}
+	s.res.PeakQueue = s.buffer.Peak()
+	if s.res.FramesDecoded+s.res.FramesDropped != len(frames) {
+		return nil, fmt.Errorf("sim: decoded %d + dropped %d of %d frames",
+			s.res.FramesDecoded, s.res.FramesDropped, len(frames))
+	}
+	return &s.res, nil
+}
+
+func (s *Simulator) handleArrival(f workload.TraceFrame) {
+	// Feed the arrival estimator, unless this gap spans an idle period.
+	if s.haveArrive {
+		gap := f.Arrival - s.lastArrive
+		spansIdle := s.mode == ModeSleep || s.mode == ModeWake ||
+			(s.mode == ModeAwakeIdle && !s.decoding && s.buffer.Empty() && gap > s.cfg.IdleResetGap)
+		if !spansIdle {
+			s.cfg.Controller.OnArrival(gap, f.TrueArrivalRate)
+		}
+	}
+	s.lastArrive = f.Arrival
+	s.haveArrive = true
+	if clips := s.cfg.Trace.Clips; len(clips) > 0 && f.ClipIndex < len(clips) {
+		s.curKind = clips[f.ClipIndex].Kind
+	}
+	// The radio's RX burst for this frame (see Config.WLANRxSeconds).
+	if wlan, ok := s.cfg.Badge.Component(device.NameWLAN); ok {
+		rxE := (wlan.Power(device.Active) - wlan.Power(device.Idle)) * s.cfg.WLANRxSeconds
+		s.res.EnergyByComponent[wlan.Name] += rxE
+		s.res.EnergyJ += rxE
+		s.res.EnergyByMode[s.mode] += rxE
+	}
+
+	if s.cfg.BufferCap > 0 && s.buffer.Len() >= s.cfg.BufferCap {
+		// Frame buffer full: the frame is lost. The power manager still saw
+		// the arrival (fed to the estimator above) and the radio still
+		// received it; only the payload drops. The arrival still counts as
+		// activity, so a sleeping device wakes below.
+		s.res.FramesDropped++
+	} else {
+		s.buffer.Push(queue.Frame{Seq: f.Seq, ArrivalTime: f.Arrival, Work: f.Work, ClipID: f.ClipIndex})
+	}
+
+	switch s.mode {
+	case ModeSleep:
+		// Wake up: the DPM observes the completed idle period.
+		s.cfg.DPM.ObserveIdle(s.now - s.idleSince)
+		s.epoch++
+		wake := s.cfg.Badge.WakeLatency(s.sleepState)
+		s.mode = ModeWake
+		s.push(event{time: s.now + wake, kind: evWakeDone})
+	case ModeAwakeIdle:
+		if !s.decoding {
+			s.cfg.DPM.ObserveIdle(s.now - s.idleSince)
+			s.epoch++ // cancel any pending sleep timer
+		}
+		s.startDecodeIfPossible()
+	case ModeWake, ModeDecode:
+		// Buffer and keep going.
+	}
+}
+
+func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
+	done := s.buffer.Pop()
+	if done.Seq != f.Seq {
+		panic(fmt.Sprintf("sim: decode completion order mismatch: %d vs %d", done.Seq, f.Seq))
+	}
+	s.decoding = false
+	s.res.FramesDecoded++
+	delay := s.now - done.ArrivalTime
+	s.res.FrameDelay.Add(delay)
+	if target := s.cfg.Controller.TargetDelay; delay > target {
+		s.res.DelayOverTarget++
+		if delay > 2*target {
+			s.res.DelayOver2xTarget++
+		}
+	}
+	// Charge the frame's data-memory activity: the access time is the memory
+	// fraction of the frame's full-speed decode time, independent of the
+	// clock the frame actually decoded at.
+	memName := device.NameSRAM
+	curve := perfmodel.MP3Curve()
+	if s.curKind == workload.MPEG {
+		memName = device.NameDRAM
+		curve = perfmodel.MPEGCurve()
+	}
+	if mem, ok := s.cfg.Badge.Component(memName); ok {
+		memE := (mem.Power(device.Active) - mem.Power(device.Idle)) * curve.MemFraction * f.Work
+		s.res.EnergyByComponent[memName] += memE
+		s.res.EnergyJ += memE
+		s.res.EnergyByMode[ModeDecode] += memE
+	}
+	// Feed the service estimator with the decode time normalised to the
+	// maximum frequency (the PM knows the current point's performance ratio).
+	s.cfg.Controller.OnService(f.Work, f.TrueDecodeRateMax)
+	if s.buffer.Empty() {
+		s.enterIdle()
+		return
+	}
+	s.mode = ModeAwakeIdle
+	s.startDecodeIfPossible()
+}
+
+// Run is a convenience wrapper: build and execute in one call.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

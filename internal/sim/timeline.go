@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"smartbadge/internal/device"
+)
+
+// ModeSpan is one maximal interval during which the badge's mode, operating
+// frequency and sleep state were constant.
+type ModeSpan struct {
+	From, To float64
+	Mode     Mode
+	// FreqMHz is the decode clock during ModeDecode spans (0 otherwise).
+	FreqMHz float64
+	// SleepState is the low-power state during ModeSleep spans.
+	SleepState device.PowerState
+}
+
+// Duration returns the span length.
+func (s ModeSpan) Duration() float64 { return s.To - s.From }
+
+// recordSpan extends the timeline, merging with the previous span when the
+// badge state did not actually change.
+func (s *Simulator) recordSpan(from, to float64) {
+	if !s.cfg.RecordTimeline || to <= from {
+		return
+	}
+	span := ModeSpan{From: from, To: to, Mode: s.mode}
+	if s.mode == ModeDecode {
+		span.FreqMHz = s.appliedOp.FrequencyMHz
+	}
+	if s.mode == ModeSleep {
+		span.SleepState = s.sleepState
+	}
+	tl := s.res.Timeline
+	if n := len(tl); n > 0 {
+		last := &tl[n-1]
+		if last.To == from && last.Mode == span.Mode &&
+			last.FreqMHz == span.FreqMHz && last.SleepState == span.SleepState {
+			last.To = to
+			return
+		}
+	}
+	s.res.Timeline = append(s.res.Timeline, span)
+}
+
+// timelineGlyph maps a mode to its strip character.
+func timelineGlyph(m Mode, sleepState device.PowerState) byte {
+	switch m {
+	case ModeDecode:
+		return 'D'
+	case ModeAwakeIdle:
+		return '.'
+	case ModeSleep:
+		if sleepState == device.Off {
+			return 'O'
+		}
+		return 's'
+	case ModeWake:
+		return 'w'
+	default:
+		return '?'
+	}
+}
+
+// FormatTimeline renders the timeline as a fixed-width ASCII strip — each
+// column is a time bucket showing the mode that dominated it — followed by a
+// per-mode time summary. Useful for eyeballing what a policy actually did.
+//
+//	D decode   . awake-idle   s standby   O off   w waking
+func FormatTimeline(spans []ModeSpan, width int) string {
+	if len(spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	start := spans[0].From
+	end := spans[len(spans)-1].To
+	total := end - start
+	if total <= 0 {
+		return "(empty timeline)\n"
+	}
+	bucket := total / float64(width)
+	strip := make([]byte, width)
+	// For each bucket pick the mode with the most time in it.
+	si := 0
+	for b := 0; b < width; b++ {
+		bFrom := start + float64(b)*bucket
+		bTo := bFrom + bucket
+		var timeBy [5]float64
+		var sleepGlyph byte = 's'
+		for si < len(spans) && spans[si].From < bTo {
+			ov := min(spans[si].To, bTo) - max(spans[si].From, bFrom)
+			if ov > 0 {
+				timeBy[spans[si].Mode] += ov
+				if spans[si].Mode == ModeSleep && spans[si].SleepState == device.Off {
+					sleepGlyph = 'O'
+				}
+			}
+			if spans[si].To <= bTo {
+				si++
+			} else {
+				break
+			}
+		}
+		bestMode := ModeAwakeIdle
+		bestT := -1.0
+		for m := ModeDecode; m < numModes; m++ {
+			if timeBy[m] > bestT {
+				bestT, bestMode = timeBy[m], m
+			}
+		}
+		g := timelineGlyph(bestMode, device.Standby)
+		if bestMode == ModeSleep {
+			g = sleepGlyph
+		}
+		strip[b] = g
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %.1fs -> %.1fs (%.2fs per column)\n", start, end, bucket)
+	sb.Write(strip)
+	sb.WriteByte('\n')
+	var totals [5]float64
+	for _, s := range spans {
+		totals[s.Mode] += s.Duration()
+	}
+	fmt.Fprintf(&sb, "D decode %.1fs | . idle %.1fs | s/O sleep %.1fs | w wake %.1fs\n",
+		totals[ModeDecode], totals[ModeAwakeIdle], totals[ModeSleep], totals[ModeWake])
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/dpm"
+	"smartbadge/internal/perfmodel"
+	"smartbadge/internal/sa1100"
+	"smartbadge/internal/workload"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	tr := gapTrace(t, 71)
+	pol, err := dpm.NewFixedTimeout(1, device.Standby)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Badge:          device.SmartBadge(),
+		Proc:           sa1100.Default(),
+		Trace:          tr,
+		Controller:     idealController(t, perfmodel.MP3Curve(), 0.15, false),
+		DPM:            pol,
+		Kind:           workload.MP3,
+		RecordTimeline: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	// Spans are contiguous, non-overlapping, and cover [first, SimTime].
+	coverage := 0.0
+	for i, s := range res.Timeline {
+		if s.To <= s.From {
+			t.Fatalf("span %d not positive: %+v", i, s)
+		}
+		if i > 0 && math.Abs(s.From-res.Timeline[i-1].To) > 1e-9 {
+			t.Fatalf("gap between spans %d and %d", i-1, i)
+		}
+		coverage += s.Duration()
+	}
+	if math.Abs(coverage-res.SimTime) > 1e-6*res.SimTime {
+		t.Errorf("timeline covers %v of %v", coverage, res.SimTime)
+	}
+	// Per-mode totals agree with the simulator's accounting.
+	var totals [5]float64
+	for _, s := range res.Timeline {
+		totals[s.Mode] += s.Duration()
+	}
+	for m := ModeDecode; m <= ModeWake; m++ {
+		if math.Abs(totals[m]-res.TimeInMode[m]) > 1e-6*(1+res.TimeInMode[m]) {
+			t.Errorf("mode %v: timeline %v vs accounting %v", m, totals[m], res.TimeInMode[m])
+		}
+	}
+	// Rendering includes the strip and the legend.
+	text := FormatTimeline(res.Timeline, 80)
+	lines := strings.Split(text, "\n")
+	if len(lines) < 3 || len(lines[1]) != 80 {
+		t.Errorf("strip line length = %d, want 80", len(lines[1]))
+	}
+	if !strings.Contains(text, "sleep") {
+		t.Error("legend missing")
+	}
+	for _, ch := range lines[1] {
+		switch ch {
+		case 'D', '.', 's', 'O', 'w':
+		default:
+			t.Fatalf("unexpected glyph %q in strip", ch)
+		}
+	}
+}
+
+func TestTimelineOffByDefault(t *testing.T) {
+	res := runMP3(t, 72, false, nil)
+	if len(res.Timeline) != 0 {
+		t.Error("timeline recorded without RecordTimeline")
+	}
+}
+
+func TestFormatTimelineEdgeCases(t *testing.T) {
+	if s := FormatTimeline(nil, 50); !strings.Contains(s, "empty") {
+		t.Error("empty timeline not reported")
+	}
+	spans := []ModeSpan{{From: 0, To: 1, Mode: ModeDecode}}
+	if s := FormatTimeline(spans, 1); !strings.Contains(s, "D") {
+		t.Error("tiny width not handled")
+	}
+	// Off-state sleep renders as 'O'.
+	spans = []ModeSpan{{From: 0, To: 10, Mode: ModeSleep, SleepState: device.Off}}
+	if s := FormatTimeline(spans, 20); !strings.Contains(s, "O") {
+		t.Error("off state not rendered as O")
+	}
+}

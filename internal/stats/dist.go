@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution is a one-dimensional probability distribution over
+// non-negative reals, as used for interarrival times, service times,
+// transition times and idle-period lengths in the system model of Section 2.
+type Distribution interface {
+	// Sample draws one value using the supplied generator.
+	Sample(r *RNG) float64
+	// Mean returns the distribution mean (may be +Inf for heavy tails).
+	Mean() float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// Exponential is the memoryless distribution the paper uses for frame
+// interarrival times (Equation 2) and frame decoding times (Equation 1)
+// in the active state.
+type Exponential struct {
+	Rate float64 // events per second; mean is 1/Rate
+}
+
+// NewExponential returns an exponential distribution with the given rate.
+// It panics if rate <= 0, because a non-positive rate has no density.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 {
+		panic(fmt.Sprintf("stats: exponential rate must be positive, got %v", rate))
+	}
+	return Exponential{Rate: rate}
+}
+
+// Sample implements Distribution.
+func (e Exponential) Sample(r *RNG) float64 { return r.Exp(e.Rate) }
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// CDF implements Distribution (Equation 1/2 of the paper: 1 - exp(-λt)).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// String implements Distribution.
+func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%.4g/s)", e.Rate) }
+
+// Pareto is the heavy-tailed distribution used for idle-period lengths.
+// The paper observes that idle-time tails are not exponential (Section 3);
+// the authors' companion work fits them with Pareto distributions, which is
+// what makes timeout-style DPM policies non-trivial.
+type Pareto struct {
+	Scale float64 // minimum value x_m > 0
+	Shape float64 // tail index alpha > 0; mean finite iff alpha > 1
+}
+
+// NewPareto returns a Pareto distribution. It panics on non-positive
+// parameters.
+func NewPareto(scale, shape float64) Pareto {
+	if scale <= 0 || shape <= 0 {
+		panic(fmt.Sprintf("stats: pareto parameters must be positive, got scale=%v shape=%v", scale, shape))
+	}
+	return Pareto{Scale: scale, Shape: shape}
+}
+
+// Sample implements Distribution.
+func (p Pareto) Sample(r *RNG) float64 { return r.Pareto(p.Scale, p.Shape) }
+
+// Mean implements Distribution. The mean is infinite for Shape <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.Shape * p.Scale / (p.Shape - 1)
+}
+
+// CDF implements Distribution.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Scale {
+		return 0
+	}
+	return 1 - math.Pow(p.Scale/x, p.Shape)
+}
+
+// String implements Distribution.
+func (p Pareto) String() string {
+	return fmt.Sprintf("Pareto(scale=%.4gs, shape=%.4g)", p.Scale, p.Shape)
+}
+
+// Uniform is the distribution the paper uses for the transition time from
+// standby or off back to the active state (Section 2.1.1).
+type Uniform struct {
+	A, B float64 // support [A, B), B >= A
+}
+
+// NewUniform returns a uniform distribution on [a, b). It panics if b < a.
+func NewUniform(a, b float64) Uniform {
+	if b < a {
+		panic(fmt.Sprintf("stats: uniform requires b >= a, got [%v, %v)", a, b))
+	}
+	return Uniform{A: a, B: b}
+}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(r *RNG) float64 {
+	if u.B == u.A {
+		return u.A
+	}
+	return r.Uniform(u.A, u.B)
+}
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// CDF implements Distribution.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x < u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	case u.B == u.A:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// String implements Distribution.
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%.4g, %.4g)", u.A, u.B) }
+
+// Deterministic always returns a fixed value. Used for fixed hardware
+// latencies such as the frequency-switch overhead.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample implements Distribution.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean implements Distribution.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// CDF implements Distribution.
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}
+
+// String implements Distribution.
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%.4g)", d.Value) }
+
+// Shifted adds a constant offset to another distribution. Idle periods are
+// conveniently modelled as a minimum gap plus a Pareto tail.
+type Shifted struct {
+	Offset float64
+	Base   Distribution
+}
+
+// Sample implements Distribution.
+func (s Shifted) Sample(r *RNG) float64 { return s.Offset + s.Base.Sample(r) }
+
+// Mean implements Distribution.
+func (s Shifted) Mean() float64 { return s.Offset + s.Base.Mean() }
+
+// CDF implements Distribution.
+func (s Shifted) CDF(x float64) float64 { return s.Base.CDF(x - s.Offset) }
+
+// String implements Distribution.
+func (s Shifted) String() string { return fmt.Sprintf("%.4g+%s", s.Offset, s.Base) }
+
+// Mixture selects among component distributions with fixed weights.
+// Used to model multi-modal decode-time behaviour such as the I/P/B frame
+// structure of MPEG streams (Section 1 cites a factor-of-three cycle-count
+// spread between frames).
+type Mixture struct {
+	Weights    []float64 // non-negative, need not be normalised
+	Components []Distribution
+	total      float64
+}
+
+// NewMixture builds a mixture. It panics if the slices differ in length,
+// are empty, or no weight is positive.
+func NewMixture(weights []float64, components []Distribution) *Mixture {
+	if len(weights) != len(components) || len(weights) == 0 {
+		panic("stats: mixture needs matching, non-empty weights and components")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: mixture weight must be non-negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: mixture needs at least one positive weight")
+	}
+	return &Mixture{Weights: weights, Components: components, total: total}
+}
+
+// Sample implements Distribution.
+func (m *Mixture) Sample(r *RNG) float64 {
+	u := r.Float64() * m.total
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Mean implements Distribution.
+func (m *Mixture) Mean() float64 {
+	mean := 0.0
+	for i, w := range m.Weights {
+		mean += w / m.total * m.Components[i].Mean()
+	}
+	return mean
+}
+
+// CDF implements Distribution.
+func (m *Mixture) CDF(x float64) float64 {
+	c := 0.0
+	for i, w := range m.Weights {
+		c += w / m.total * m.Components[i].CDF(x)
+	}
+	return c
+}
+
+// String implements Distribution.
+func (m *Mixture) String() string { return fmt.Sprintf("Mixture(%d components)", len(m.Components)) }

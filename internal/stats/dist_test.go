@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialCDF(t *testing.T) {
+	e := NewExponential(2.0)
+	cases := []struct{ x, want float64 }{
+		{-1, 0},
+		{0, 0},
+		{0.5, 1 - math.Exp(-1)},
+		{1, 1 - math.Exp(-2)},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := NewExponential(4)
+	if e.Mean() != 0.25 {
+		t.Errorf("mean = %v, want 0.25", e.Mean())
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExponential(-1)
+}
+
+// CDF monotonicity is a property every Distribution must satisfy.
+func TestCDFMonotoneProperty(t *testing.T) {
+	dists := []Distribution{
+		NewExponential(3),
+		NewPareto(0.5, 2),
+		NewUniform(1, 4),
+		Deterministic{Value: 2},
+		Shifted{Offset: 1, Base: NewExponential(2)},
+		NewMixture([]float64{1, 2}, []Distribution{NewExponential(1), NewUniform(0, 3)}),
+	}
+	for _, d := range dists {
+		d := d
+		prop := func(a, b float64) bool {
+			x := math.Abs(math.Mod(a, 100))
+			y := math.Abs(math.Mod(b, 100))
+			if x > y {
+				x, y = y, x
+			}
+			cx, cy := d.CDF(x), d.CDF(y)
+			return cx >= 0 && cy <= 1+1e-12 && cx <= cy+1e-12
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: CDF monotonicity violated: %v", d, err)
+		}
+	}
+}
+
+// Sampled values must land in the distribution's support and empirical CDF
+// must track the analytic CDF.
+func TestSampleMatchesCDF(t *testing.T) {
+	r := NewRNG(101)
+	dists := []Distribution{
+		NewExponential(7),
+		NewPareto(1.0, 2.5),
+		NewUniform(2, 5),
+		Shifted{Offset: 3, Base: NewExponential(5)},
+		NewMixture([]float64{1, 1}, []Distribution{NewExponential(2), NewExponential(10)}),
+	}
+	for _, d := range dists {
+		sample := make([]float64, 20000)
+		for i := range sample {
+			sample[i] = d.Sample(r)
+		}
+		e := NewECDF(sample)
+		if ks := e.KSDistance(d); ks > 0.02 {
+			t.Errorf("%s: KS distance %v between sample and analytic CDF", d, ks)
+		}
+	}
+}
+
+func TestUniformCDFEdges(t *testing.T) {
+	u := NewUniform(1, 3)
+	if u.CDF(0.5) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	if u.CDF(3) != 1 {
+		t.Error("CDF at upper edge should be 1")
+	}
+	if got := u.CDF(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(2) = %v, want 0.5", got)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	u := NewUniform(2, 2)
+	r := NewRNG(1)
+	if got := u.Sample(r); got != 2 {
+		t.Errorf("degenerate uniform sample = %v, want 2", got)
+	}
+	if u.CDF(2) != 1 {
+		t.Error("degenerate uniform CDF(2) should be 1")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 1.5}
+	if d.Sample(nil) != 1.5 || d.Mean() != 1.5 {
+		t.Error("deterministic sample/mean mismatch")
+	}
+	if d.CDF(1.4) != 0 || d.CDF(1.5) != 1 {
+		t.Error("deterministic CDF step misplaced")
+	}
+}
+
+func TestParetoMeanInfiniteForHeavyTail(t *testing.T) {
+	p := NewPareto(1, 0.9)
+	if !math.IsInf(p.Mean(), 1) {
+		t.Errorf("mean = %v, want +Inf for shape <= 1", p.Mean())
+	}
+}
+
+func TestShiftedMeanAndCDF(t *testing.T) {
+	s := Shifted{Offset: 2, Base: NewExponential(1)}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean())
+	}
+	if s.CDF(2) != 0 {
+		t.Errorf("CDF(offset) = %v, want 0", s.CDF(2))
+	}
+}
+
+func TestMixtureMean(t *testing.T) {
+	m := NewMixture([]float64{1, 3}, []Distribution{Deterministic{Value: 4}, Deterministic{Value: 8}})
+	want := 0.25*4 + 0.75*8
+	if math.Abs(m.Mean()-want) > 1e-12 {
+		t.Errorf("mixture mean = %v, want %v", m.Mean(), want)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMixture(nil, nil) },
+		func() { NewMixture([]float64{1}, []Distribution{Deterministic{}, Deterministic{}}) },
+		func() { NewMixture([]float64{-1, 2}, []Distribution{Deterministic{}, Deterministic{}}) },
+		func() { NewMixture([]float64{0, 0}, []Distribution{Deterministic{}, Deterministic{}}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMixtureSamplingWeights(t *testing.T) {
+	m := NewMixture([]float64{1, 4}, []Distribution{Deterministic{Value: 0}, Deterministic{Value: 1}})
+	r := NewRNG(55)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("component-2 fraction = %v, want ~0.8", frac)
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmptySample is returned by fitting functions when given no data.
+var ErrEmptySample = errors.New("stats: empty sample")
+
+// FitExponential returns the maximum-likelihood exponential fit to a sample
+// of non-negative interarrival (or decoding) times: rate = 1/mean.
+// This is how the paper turns measured frame traces into the λU and λD
+// parameters of the system model (Section 2.2, Figure 6).
+func FitExponential(sample []float64) (Exponential, error) {
+	if len(sample) == 0 {
+		return Exponential{}, ErrEmptySample
+	}
+	sum := 0.0
+	for _, x := range sample {
+		if x < 0 || math.IsNaN(x) {
+			return Exponential{}, errors.New("stats: exponential sample must be non-negative")
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		return Exponential{}, errors.New("stats: exponential sample has zero mean")
+	}
+	return NewExponential(float64(len(sample)) / sum), nil
+}
+
+// FitPareto returns the maximum-likelihood Pareto fit to a sample, with the
+// scale fixed to the sample minimum and the shape estimated as
+// n / Σ ln(x_i / scale). Used to fit idle-period distributions for the
+// renewal-theory DPM policy.
+func FitPareto(sample []float64) (Pareto, error) {
+	if len(sample) == 0 {
+		return Pareto{}, ErrEmptySample
+	}
+	scale := math.Inf(1)
+	for _, x := range sample {
+		if x <= 0 || math.IsNaN(x) {
+			return Pareto{}, errors.New("stats: pareto sample must be positive")
+		}
+		if x < scale {
+			scale = x
+		}
+	}
+	sumLog := 0.0
+	for _, x := range sample {
+		sumLog += math.Log(x / scale)
+	}
+	if sumLog <= 0 {
+		// Degenerate sample (all equal); return a very light tail.
+		return NewPareto(scale, 1e6), nil
+	}
+	return NewPareto(scale, float64(len(sample))/sumLog), nil
+}
+
+// MeanRate returns the event rate implied by a sample of gaps: n / Σ gaps.
+// Returns 0 for an empty or zero-sum sample.
+func MeanRate(sample []float64) float64 {
+	sum := 0.0
+	for _, x := range sample {
+		sum += x
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return float64(len(sample)) / sum
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	r := NewRNG(404)
+	const rate = 35.0
+	sample := make([]float64, 50000)
+	for i := range sample {
+		sample[i] = r.Exp(rate)
+	}
+	fit, err := FitExponential(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fit.Rate-rate) / rate; rel > 0.02 {
+		t.Errorf("fitted rate = %v, want ~%v", fit.Rate, rate)
+	}
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, err := FitExponential(nil); err == nil {
+		t.Error("want error on empty sample")
+	}
+	if _, err := FitExponential([]float64{1, -2}); err == nil {
+		t.Error("want error on negative sample")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Error("want error on zero-mean sample")
+	}
+}
+
+func TestFitParetoRecoversShape(t *testing.T) {
+	r := NewRNG(505)
+	p := NewPareto(0.5, 2.2)
+	sample := make([]float64, 50000)
+	for i := range sample {
+		sample[i] = p.Sample(r)
+	}
+	fit, err := FitPareto(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-2.2) > 0.1 {
+		t.Errorf("fitted shape = %v, want ~2.2", fit.Shape)
+	}
+	if math.Abs(fit.Scale-0.5) > 0.01 {
+		t.Errorf("fitted scale = %v, want ~0.5", fit.Scale)
+	}
+}
+
+func TestFitParetoErrors(t *testing.T) {
+	if _, err := FitPareto(nil); err == nil {
+		t.Error("want error on empty sample")
+	}
+	if _, err := FitPareto([]float64{1, 0}); err == nil {
+		t.Error("want error on non-positive sample")
+	}
+}
+
+func TestFitParetoDegenerate(t *testing.T) {
+	fit, err := FitPareto([]float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Scale != 2 {
+		t.Errorf("scale = %v, want 2", fit.Scale)
+	}
+	if fit.Shape < 1e5 {
+		t.Errorf("degenerate sample should give a very light tail, got shape %v", fit.Shape)
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	if got := MeanRate([]float64{0.1, 0.1, 0.1, 0.1}); math.Abs(got-10) > 1e-12 {
+		t.Errorf("rate = %v, want 10", got)
+	}
+	if got := MeanRate(nil); got != 0 {
+		t.Errorf("rate of empty = %v, want 0", got)
+	}
+	if got := MeanRate([]float64{0, 0}); got != 0 {
+		t.Errorf("rate of zero gaps = %v, want 0", got)
+	}
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-range, equal-width bin histogram with under/overflow
+// bins. The off-line change-point characterisation (Section 3.1) accumulates
+// null-hypothesis likelihood-ratio statistics into a Histogram and then reads
+// off a high quantile (99.5 % in the paper) as the on-line threshold.
+type Histogram struct {
+	lo, hi   float64
+	bins     []int64
+	under    int64
+	over     int64
+	n        int64
+	momExact Moments
+}
+
+// NewHistogram returns a histogram covering [lo, hi) with the given number of
+// equal-width bins. It panics if hi <= lo or bins < 1.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram needs hi > lo, got [%v, %v)", lo, hi))
+	}
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.momExact.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if i >= len(h.bins) { // guard float rounding at the top edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of observations (including under/overflow).
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the exact sample mean of all observations.
+func (h *Histogram) Mean() float64 { return h.momExact.Mean() }
+
+// Quantile returns an upper bound on the p-quantile using bin edges:
+// the returned threshold t guarantees that at least a fraction p of the
+// observed samples were < t. Underflow counts toward low quantiles;
+// if the quantile falls in the overflow bin the exact observed maximum is
+// returned. p must be in [0, 1].
+func (h *Histogram) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p out of range: %v", p))
+	}
+	if h.n == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(p * float64(h.n)))
+	if target <= h.under {
+		return h.lo
+	}
+	acc := h.under
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		acc += c
+		if acc >= target {
+			return h.lo + float64(i+1)*width // upper edge of the bin
+		}
+	}
+	return h.momExact.Max()
+}
+
+// Bins returns a copy of the in-range bin counts.
+func (h *Histogram) Bins() []int64 {
+	out := make([]int64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Range returns the histogram's [lo, hi) range.
+func (h *Histogram) Range() (lo, hi float64) { return h.lo, h.hi }
+
+// String renders a compact ASCII sketch, useful from cmd/characterize.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	fmt.Fprintf(&b, "n=%d under=%d over=%d\n", h.n, h.under, h.over)
+	for i, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		bar := int(float64(c) / float64(maxCount) * 40)
+		fmt.Fprintf(&b, "[%8.3f, %8.3f) %8d %s\n",
+			h.lo+float64(i)*width, h.lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+// Figure 6 of the paper fits an exponential CDF to measured MPEG interarrival
+// times; ECDF provides the empirical side of that comparison.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an empirical CDF from a sample (the input is copied).
+func NewECDF(sample []float64) *ECDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// CDF returns the empirical P(X <= x).
+func (e *ECDF) CDF(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Values returns the sorted sample (shared, do not modify).
+func (e *ECDF) Values() []float64 { return e.sorted }
+
+// MeanAbsError returns the mean absolute difference between the empirical CDF
+// and a model CDF, evaluated at the sample points. This is the "average
+// fitting error" metric reported in Figure 6 (8 % in the paper).
+func (e *ECDF) MeanAbsError(model Distribution) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, x := range e.sorted {
+		// Mid-rank empirical value reduces the systematic half-step bias.
+		emp := (float64(i) + 0.5) / float64(len(e.sorted))
+		sum += math.Abs(emp - model.CDF(x))
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic between the empirical
+// CDF and a model CDF.
+func (e *ECDF) KSDistance(model Distribution) float64 {
+	d := 0.0
+	n := float64(len(e.sorted))
+	for i, x := range e.sorted {
+		m := model.CDF(x)
+		hi := float64(i+1)/n - m
+		lo := m - float64(i)/n
+		if hi > d {
+			d = hi
+		}
+		if lo > d {
+			d = lo
+		}
+	}
+	return d
+}

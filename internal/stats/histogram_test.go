@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10.0) // 0.0 .. 9.9, uniform over bins
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	q := h.Quantile(0.5)
+	if q < 4 || q > 6 {
+		t.Errorf("median = %v, want within [4,6]", q)
+	}
+	q995 := h.Quantile(0.995)
+	if q995 < 9 {
+		t.Errorf("0.995 quantile = %v, want >= 9", q995)
+	}
+}
+
+// The threshold property the change-point characterisation depends on:
+// at least fraction p of samples are strictly below the returned bound
+// (up to bin granularity, the bound is the bin's upper edge).
+func TestHistogramQuantileUpperBoundProperty(t *testing.T) {
+	r := NewRNG(77)
+	prop := func(seed uint32) bool {
+		rr := NewRNG(uint64(seed))
+		h := NewHistogram(0, 50, 64)
+		var sample []float64
+		n := 200 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			x := rr.Exp(0.2)
+			h.Add(x)
+			sample = append(sample, x)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.995} {
+			q := h.Quantile(p)
+			below := 0
+			for _, x := range sample {
+				if x <= q {
+					below++
+				}
+			}
+			if float64(below)/float64(n) < p-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(0.5)
+	h.Add(99)
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+	// Quantile at 1.0 must cover the overflowed max.
+	if q := h.Quantile(1.0); q != 99 {
+		t.Errorf("quantile(1.0) = %v, want 99 (observed max)", q)
+	}
+	// Quantile at a tiny p must not exceed lo when underflow dominates.
+	if q := h.Quantile(0.1); q != 0 {
+		t.Errorf("quantile(0.1) = %v, want 0 (underflow)", q)
+	}
+}
+
+func TestHistogramEmptyQuantileNaN(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("quantile of empty histogram should be NaN")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(0, 1, 4).Quantile(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 0.6, 1.5, 3.2} {
+		h.Add(x)
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=4") {
+		t.Errorf("String() missing count: %q", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Errorf("String() missing bars: %q", s)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2})
+	if e.Len() != 3 {
+		t.Fatalf("len = %d", e.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {4, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFFitErrorSmallForTrueModel(t *testing.T) {
+	r := NewRNG(303)
+	d := NewExponential(30)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = d.Sample(r)
+	}
+	e := NewECDF(sample)
+	if err := e.MeanAbsError(d); err > 0.02 {
+		t.Errorf("mean abs error vs true model = %v, want < 0.02", err)
+	}
+	// A badly mismatched model must show a much larger error.
+	if err := e.MeanAbsError(NewExponential(3)); err < 0.2 {
+		t.Errorf("mean abs error vs wrong model = %v, want > 0.2", err)
+	}
+}
+
+func TestKSDistanceZeroSample(t *testing.T) {
+	e := NewECDF(nil)
+	if d := e.KSDistance(NewExponential(1)); d != 0 {
+		t.Errorf("empty-sample KS = %v, want 0", d)
+	}
+}

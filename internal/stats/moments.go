@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// Moments accumulates streaming mean and variance using Welford's algorithm.
+// It is used throughout the simulator for frame-delay and energy statistics.
+// The zero value is ready to use.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// Count returns the number of observations.
+func (m *Moments) Count() int64 { return m.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (m *Moments) Max() float64 { return m.max }
+
+// TimeWeighted accumulates a piecewise-constant signal integrated over time,
+// e.g. queue length or power level. Values are weighted by the duration for
+// which they held. The zero value is ready to use.
+type TimeWeighted struct {
+	total    float64 // integral of value dt
+	duration float64 // total time observed
+	min, max float64
+	seen     bool
+}
+
+// Add records that the signal held value for the given non-negative duration.
+func (t *TimeWeighted) Add(value, duration float64) {
+	if duration < 0 {
+		panic("stats: negative duration")
+	}
+	if duration == 0 {
+		return
+	}
+	if !t.seen {
+		t.min, t.max = value, value
+		t.seen = true
+	} else {
+		if value < t.min {
+			t.min = value
+		}
+		if value > t.max {
+			t.max = value
+		}
+	}
+	t.total += value * duration
+	t.duration += duration
+}
+
+// Mean returns the time-weighted mean, or 0 if no time has been observed.
+func (t *TimeWeighted) Mean() float64 {
+	if t.duration == 0 {
+		return 0
+	}
+	return t.total / t.duration
+}
+
+// Integral returns the accumulated integral of value over time
+// (e.g. joules when the value is watts).
+func (t *TimeWeighted) Integral() float64 { return t.total }
+
+// Duration returns the total observed time.
+func (t *TimeWeighted) Duration() float64 { return t.duration }
+
+// Min returns the smallest observed value, or 0 if none.
+func (t *TimeWeighted) Min() float64 { return t.min }
+
+// Max returns the largest observed value, or 0 if none.
+func (t *TimeWeighted) Max() float64 { return t.max }

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsBasics(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.Count() != 8 {
+		t.Errorf("count = %d, want 8", m.Count())
+	}
+	if m.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", m.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(m.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", m.Variance(), 32.0/7)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Variance() != 0 || m.Count() != 0 {
+		t.Error("zero-value Moments should report zeros")
+	}
+}
+
+func TestMomentsSingle(t *testing.T) {
+	var m Moments
+	m.Add(3.5)
+	if m.Variance() != 0 {
+		t.Errorf("single-sample variance = %v, want 0", m.Variance())
+	}
+	if m.Min() != 3.5 || m.Max() != 3.5 {
+		t.Error("single-sample min/max wrong")
+	}
+}
+
+// Property: Welford mean matches the naive mean; min <= mean <= max.
+func TestMomentsMatchesNaiveProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var m Moments
+		sum := 0.0
+		for _, x := range clean {
+			m.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(clean))
+		tol := 1e-9 * (1 + math.Abs(naive))
+		return math.Abs(m.Mean()-naive) < tol && m.Min() <= m.Mean()+tol && m.Mean() <= m.Max()+tol
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Add(10, 2) // 10 W for 2 s
+	tw.Add(0, 2)  // 0 W for 2 s
+	if tw.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", tw.Mean())
+	}
+	if tw.Integral() != 20 {
+		t.Errorf("integral = %v, want 20", tw.Integral())
+	}
+	if tw.Duration() != 4 {
+		t.Errorf("duration = %v, want 4", tw.Duration())
+	}
+	if tw.Min() != 0 || tw.Max() != 10 {
+		t.Error("min/max wrong")
+	}
+}
+
+func TestTimeWeightedZeroDurationIgnored(t *testing.T) {
+	var tw TimeWeighted
+	tw.Add(100, 0)
+	if tw.Duration() != 0 || tw.Mean() != 0 {
+		t.Error("zero-duration sample should be ignored")
+	}
+}
+
+func TestTimeWeightedNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var tw TimeWeighted
+	tw.Add(1, -1)
+}

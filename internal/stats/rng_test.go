@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	a := NewRNG(7)
+	c := a.Split()
+	// Split stream must differ from the parent's continuation.
+	diff := false
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != c.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("split stream identical to parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestFloat64MeanVariance(t *testing.T) {
+	r := NewRNG(11)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Float64())
+	}
+	if math.Abs(m.Mean()-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", m.Mean())
+	}
+	if math.Abs(m.Variance()-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want ~%v", m.Variance(), 1.0/12)
+	}
+}
+
+func TestExpSampleMoments(t *testing.T) {
+	r := NewRNG(5)
+	const rate = 25.0
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Exp(rate))
+	}
+	if rel := math.Abs(m.Mean()-1/rate) * rate; rel > 0.02 {
+		t.Errorf("exp mean = %v, want ~%v (rel err %v)", m.Mean(), 1/rate, rel)
+	}
+	// Var = 1/rate^2.
+	if rel := math.Abs(m.Variance()-1/(rate*rate)) * rate * rate; rel > 0.05 {
+		t.Errorf("exp variance = %v, want ~%v", m.Variance(), 1/(rate*rate))
+	}
+}
+
+func TestParetoSampleAboveScale(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		x := r.Pareto(2.0, 1.5)
+		if x < 2.0 {
+			t.Fatalf("pareto sample %v below scale", x)
+		}
+	}
+}
+
+func TestParetoSampleMean(t *testing.T) {
+	r := NewRNG(13)
+	p := NewPareto(1.0, 3.0) // mean = 1.5
+	var m Moments
+	for i := 0; i < 300000; i++ {
+		m.Add(p.Sample(r))
+	}
+	if math.Abs(m.Mean()-1.5) > 0.05 {
+		t.Errorf("pareto mean = %v, want ~1.5", m.Mean())
+	}
+}
+
+func TestNormSampleMoments(t *testing.T) {
+	r := NewRNG(17)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Norm(3, 2))
+	}
+	if math.Abs(m.Mean()-3) > 0.02 {
+		t.Errorf("normal mean = %v, want ~3", m.Mean())
+	}
+	if math.Abs(m.StdDev()-2) > 0.02 {
+		t.Errorf("normal stddev = %v, want ~2", m.StdDev())
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(19)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	quickCheck := func(n uint8) bool {
+		size := int(n%32) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(quickCheck, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}

@@ -1,0 +1,90 @@
+package stats
+
+import "fmt"
+
+// Window is a fixed-capacity sliding window over float64 observations with an
+// O(1) running sum and O(1) suffix sums via a ring buffer. The change-point
+// detector (Section 3.1) keeps the last m interarrival or decoding times in a
+// Window; the likelihood statistic only needs suffix sums Σ_{j=k+1..m} x_j,
+// which SuffixSum provides without re-scanning.
+type Window struct {
+	buf   []float64
+	head  int // index of the oldest element
+	count int
+	sum   float64
+}
+
+// NewWindow returns an empty window with the given capacity (the paper's m).
+// It panics if capacity < 1.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("stats: window capacity must be >= 1")
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Push appends an observation, evicting the oldest if the window is full.
+// It returns the evicted value and whether an eviction occurred.
+func (w *Window) Push(x float64) (evicted float64, wasFull bool) {
+	if w.count == len(w.buf) {
+		evicted = w.buf[w.head]
+		w.buf[w.head] = x
+		w.head = (w.head + 1) % len(w.buf)
+		w.sum += x - evicted
+		return evicted, true
+	}
+	w.buf[(w.head+w.count)%len(w.buf)] = x
+	w.count++
+	w.sum += x
+	return 0, false
+}
+
+// Len returns the number of stored observations.
+func (w *Window) Len() int { return w.count }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window holds Cap() observations.
+func (w *Window) Full() bool { return w.count == len(w.buf) }
+
+// Sum returns the sum of all stored observations.
+func (w *Window) Sum() float64 { return w.sum }
+
+// At returns the i-th observation, 0 being the oldest. It panics if out of
+// range.
+func (w *Window) At(i int) float64 {
+	if i < 0 || i >= w.count {
+		panic(fmt.Sprintf("stats: window index %d out of range [0,%d)", i, w.count))
+	}
+	return w.buf[(w.head+i)%len(w.buf)]
+}
+
+// SuffixSum returns the sum of the newest n observations. It panics if
+// n is negative or exceeds Len().
+func (w *Window) SuffixSum(n int) float64 {
+	if n < 0 || n > w.count {
+		panic(fmt.Sprintf("stats: suffix length %d out of range [0,%d]", n, w.count))
+	}
+	// Sum the smaller side for speed; exactness matters more than speed here,
+	// so just sum the requested suffix directly.
+	s := 0.0
+	for i := w.count - n; i < w.count; i++ {
+		s += w.buf[(w.head+i)%len(w.buf)]
+	}
+	return s
+}
+
+// Values returns the window contents oldest-first as a fresh slice.
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.count)
+	for i := 0; i < w.count; i++ {
+		out[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head, w.count, w.sum = 0, 0, 0
+}

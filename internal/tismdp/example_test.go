@@ -1,0 +1,35 @@
+package tismdp_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/dpm"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/tismdp"
+)
+
+// Solve the time-indexed model for a composite idle-time distribution:
+// a bulk of short inter-frame gaps plus a heavy tail of long pauses.
+// The optimal decision is indexed by how long the system has been idle.
+func Example() {
+	idle := stats.NewMixture(
+		[]float64{0.99, 0.01}, // mostly sub-second gaps, occasionally minutes
+		[]stats.Distribution{
+			stats.NewExponential(20),
+			stats.Shifted{Offset: 30, Base: stats.NewPareto(30, 2)},
+		},
+	)
+	pol, err := tismdp.Solve(tismdp.Config{
+		Idle:   idle,
+		Costs:  dpm.CostsForBadge(device.SmartBadge(), device.Standby),
+		Target: device.Standby,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("waits through the short-gap bulk, sleeps from %.2f s\n", pol.Timeout())
+	// Output:
+	// waits through the short-gap bulk, sleeps from 0.21 s
+}

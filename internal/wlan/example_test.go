@@ -1,0 +1,26 @@
+package wlan_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/stats"
+	"smartbadge/internal/wlan"
+)
+
+// Stream frames through the contended channel and fit an exponential to the
+// resulting interarrival times — the Figure 6 experiment in miniature.
+func Example() {
+	arrivals, err := wlan.Stream(stats.NewRNG(4), wlan.DefaultConfig(), 8000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaps := wlan.Interarrivals(arrivals)[1:]
+	fit, err := stats.FitExponential(gaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted rate ~%.0f fr/s (server paces 20 fr/s)\n", fit.Rate)
+	// Output:
+	// fitted rate ~20 fr/s (server paces 20 fr/s)
+}

@@ -1,0 +1,147 @@
+package wlan
+
+import (
+	"math"
+	"testing"
+
+	"smartbadge/internal/stats"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.FrameRate = 0 },
+		func(c *Config) { c.TxTime = 0 },
+		func(c *Config) { c.LossProb = -0.1 },
+		func(c *Config) { c.LossProb = 1 },
+		func(c *Config) { c.RetryTimeout = -1 },
+		func(c *Config) { c.CrossBusyRate = -1 },
+		func(c *Config) { c.CrossBusyRate = 5; c.CrossBusyMean = 0 },
+		func(c *Config) { c.CrossBusyRate = 50; c.CrossBusyMean = 0.05 }, // saturated
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestStreamBasics(t *testing.T) {
+	rng := stats.NewRNG(1)
+	arr, err := Stream(rng, DefaultConfig(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 5000 {
+		t.Fatalf("got %d arrivals", len(arr))
+	}
+	prev := 0.0
+	for i, a := range arr {
+		if a <= prev {
+			t.Fatalf("arrival %d not increasing: %v <= %v", i, a, prev)
+		}
+		prev = a
+	}
+	if _, err := Stream(rng, DefaultConfig(), 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+	bad := DefaultConfig()
+	bad.FrameRate = 0
+	if _, err := Stream(rng, bad, 10); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Long-run delivery rate equals the pacing rate (nothing is ever dropped,
+// only delayed).
+func TestStreamPreservesRate(t *testing.T) {
+	rng := stats.NewRNG(2)
+	cfg := DefaultConfig()
+	const n = 20000
+	arr, err := Stream(rng, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(n) / arr[n-1]
+	if math.Abs(rate-cfg.FrameRate)/cfg.FrameRate > 0.02 {
+		t.Errorf("delivery rate = %v, want ~%v", rate, cfg.FrameRate)
+	}
+}
+
+// A clean channel (no loss, no cross-traffic) delivers paced frames: tiny
+// interarrival variance. A contended channel randomises them: CV near 1.
+func TestChannelContentionRandomisesArrivals(t *testing.T) {
+	clean := DefaultConfig()
+	clean.LossProb = 0
+	clean.CrossBusyRate = 0
+	cleanArr, err := Stream(stats.NewRNG(3), clean, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanM stats.Moments
+	for _, g := range Interarrivals(cleanArr)[1:] {
+		cleanM.Add(g)
+	}
+	if cv := cleanM.StdDev() / cleanM.Mean(); cv > 0.05 {
+		t.Errorf("clean channel CV = %v, want ~0 (paced)", cv)
+	}
+
+	contended, err := Stream(stats.NewRNG(3), DefaultConfig(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contM stats.Moments
+	for _, g := range Interarrivals(contended)[1:] {
+		contM.Add(g)
+	}
+	if cv := contM.StdDev() / contM.Mean(); cv < 0.5 {
+		t.Errorf("contended channel CV = %v, want > 0.5 (randomised)", cv)
+	}
+}
+
+// The Figure 6 premise: the contended channel's interarrivals fit an
+// exponential to within roughly the paper's 8 % mean CDF error.
+func TestExponentialFitError(t *testing.T) {
+	arr, err := Stream(stats.NewRNG(4), DefaultConfig(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := Interarrivals(arr)[1:]
+	fit, err := stats.FitExponential(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := stats.NewECDF(gaps)
+	errFit := e.MeanAbsError(fit)
+	if errFit > 0.15 {
+		t.Errorf("exponential fit error = %v, want within ~the paper's band", errFit)
+	}
+	// The fitted rate tracks the pacing rate.
+	if math.Abs(fit.Rate-20)/20 > 0.05 {
+		t.Errorf("fitted rate = %v, want ~20", fit.Rate)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a, _ := Stream(stats.NewRNG(7), DefaultConfig(), 1000)
+	b, _ := Stream(stats.NewRNG(7), DefaultConfig(), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestInterarrivals(t *testing.T) {
+	gaps := Interarrivals([]float64{1, 3, 6})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+}

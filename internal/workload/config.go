@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// clipConfig is the JSON form of a Clip.
+type clipConfig struct {
+	Label         string          `json:"label"`
+	Kind          string          `json:"kind"` // "mp3" or "mpeg"
+	BitrateKbps   float64         `json:"bitrate_kbps,omitempty"`
+	SampleRateKHz float64         `json:"sample_rate_khz,omitempty"`
+	Segments      []segmentConfig `json:"segments"`
+	GOP           []float64       `json:"gop,omitempty"`
+	// UseDefaultGOP applies the standard 12-frame IBBP pattern (video only).
+	UseDefaultGOP bool `json:"use_default_gop,omitempty"`
+}
+
+type segmentConfig struct {
+	DurationS     float64 `json:"duration_s"`
+	ArrivalRate   float64 `json:"arrival_rate"`
+	DecodeRateMax float64 `json:"decode_rate_max"`
+}
+
+// LoadClips reads a JSON clip list, letting users define custom workloads
+// without recompiling. The format is a JSON array:
+//
+//	[
+//	  {"label": "news", "kind": "mpeg", "use_default_gop": true,
+//	   "segments": [{"duration_s": 120, "arrival_rate": 24, "decode_rate_max": 50}]},
+//	  {"label": "talk", "kind": "mp3", "sample_rate_khz": 32,
+//	   "segments": [{"duration_s": 300, "arrival_rate": 27.8, "decode_rate_max": 120}]}
+//	]
+//
+// Every clip is validated; the first error aborts the load.
+func LoadClips(r io.Reader) ([]Clip, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfgs []clipConfig
+	if err := dec.Decode(&cfgs); err != nil {
+		return nil, fmt.Errorf("workload: parsing clip config: %w", err)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("workload: clip config is empty")
+	}
+	clips := make([]Clip, 0, len(cfgs))
+	for i, cc := range cfgs {
+		var kind Kind
+		switch strings.ToLower(cc.Kind) {
+		case "mp3", "audio":
+			kind = MP3
+		case "mpeg", "video":
+			kind = MPEG
+		default:
+			return nil, fmt.Errorf("workload: clip %d: unknown kind %q (want mp3|mpeg)", i, cc.Kind)
+		}
+		c := Clip{
+			Label:         cc.Label,
+			Kind:          kind,
+			BitrateKbps:   cc.BitrateKbps,
+			SampleRateKHz: cc.SampleRateKHz,
+			GOP:           cc.GOP,
+		}
+		if cc.UseDefaultGOP {
+			if len(cc.GOP) > 0 {
+				return nil, fmt.Errorf("workload: clip %d: gop and use_default_gop are mutually exclusive", i)
+			}
+			c.GOP = DefaultGOP()
+		}
+		for _, sc := range cc.Segments {
+			c.Segments = append(c.Segments, Segment{
+				Duration:      sc.DurationS,
+				ArrivalRate:   sc.ArrivalRate,
+				DecodeRateMax: sc.DecodeRateMax,
+			})
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: clip %d: %w", i, err)
+		}
+		clips = append(clips, c)
+	}
+	return clips, nil
+}
+
+// SaveClips writes a clip list in the LoadClips format.
+func SaveClips(w io.Writer, clips []Clip) error {
+	if len(clips) == 0 {
+		return fmt.Errorf("workload: nothing to save")
+	}
+	cfgs := make([]clipConfig, 0, len(clips))
+	for i, c := range clips {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("workload: clip %d: %w", i, err)
+		}
+		cc := clipConfig{
+			Label:         c.Label,
+			BitrateKbps:   c.BitrateKbps,
+			SampleRateKHz: c.SampleRateKHz,
+			GOP:           c.GOP,
+		}
+		switch c.Kind {
+		case MP3:
+			cc.Kind = "mp3"
+		case MPEG:
+			cc.Kind = "mpeg"
+		default:
+			return fmt.Errorf("workload: clip %d: unknown kind %v", i, c.Kind)
+		}
+		for _, s := range c.Segments {
+			cc.Segments = append(cc.Segments, segmentConfig{
+				DurationS:     s.Duration,
+				ArrivalRate:   s.ArrivalRate,
+				DecodeRateMax: s.DecodeRateMax,
+			})
+		}
+		cfgs = append(cfgs, cc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfgs)
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartbadge/internal/stats"
+)
+
+const sampleConfig = `[
+  {"label": "news", "kind": "mpeg", "use_default_gop": true,
+   "segments": [{"duration_s": 120, "arrival_rate": 24, "decode_rate_max": 50}]},
+  {"label": "talk", "kind": "mp3", "sample_rate_khz": 32, "bitrate_kbps": 96,
+   "segments": [{"duration_s": 300, "arrival_rate": 27.8, "decode_rate_max": 120}]}
+]`
+
+func TestLoadClips(t *testing.T) {
+	clips, err := LoadClips(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clips) != 2 {
+		t.Fatalf("clips = %d", len(clips))
+	}
+	if clips[0].Kind != MPEG || len(clips[0].GOP) != 12 {
+		t.Error("video clip GOP not applied")
+	}
+	if clips[1].Kind != MP3 || clips[1].SampleRateKHz != 32 {
+		t.Error("audio clip fields wrong")
+	}
+	if clips[0].Duration() != 120 || clips[1].Duration() != 300 {
+		t.Error("durations wrong")
+	}
+}
+
+func TestLoadClipsErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{",
+		"empty list":    "[]",
+		"unknown kind":  `[{"label":"x","kind":"ogg","segments":[{"duration_s":1,"arrival_rate":1,"decode_rate_max":2}]}]`,
+		"unknown field": `[{"label":"x","kind":"mp3","bogus":1,"segments":[{"duration_s":1,"arrival_rate":1,"decode_rate_max":2}]}]`,
+		"no segments":   `[{"label":"x","kind":"mp3","segments":[]}]`,
+		"unsustainable": `[{"label":"x","kind":"mp3","segments":[{"duration_s":1,"arrival_rate":5,"decode_rate_max":2}]}]`,
+		"gop conflict":  `[{"label":"x","kind":"mpeg","gop":[1,2],"use_default_gop":true,"segments":[{"duration_s":1,"arrival_rate":1,"decode_rate_max":2}]}]`,
+		"missing label": `[{"kind":"mp3","segments":[{"duration_s":1,"arrival_rate":1,"decode_rate_max":2}]}]`,
+		"bad gop value": `[{"label":"x","kind":"mpeg","gop":[1,0],"segments":[{"duration_s":1,"arrival_rate":1,"decode_rate_max":2}]}]`,
+	}
+	for name, in := range cases {
+		if _, err := LoadClips(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := append(MP3Clips(), MPEGClips()...)
+	var buf bytes.Buffer
+	if err := SaveClips(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadClips(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("clips: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Label != orig[i].Label || got[i].Kind != orig[i].Kind {
+			t.Errorf("clip %d identity differs", i)
+		}
+		if len(got[i].Segments) != len(orig[i].Segments) {
+			t.Fatalf("clip %d segments differ", i)
+		}
+		for j := range orig[i].Segments {
+			if got[i].Segments[j] != orig[i].Segments[j] {
+				t.Errorf("clip %d segment %d differs", i, j)
+			}
+		}
+		if len(got[i].GOP) != len(orig[i].GOP) {
+			t.Errorf("clip %d GOP differs", i)
+		}
+	}
+}
+
+func TestSaveClipsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveClips(&buf, nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	if err := SaveClips(&buf, []Clip{{}}); err == nil {
+		t.Error("invalid clip accepted")
+	}
+	bad := MP3Clips()[0]
+	bad.Kind = Kind(9)
+	if err := SaveClips(&buf, []Clip{bad}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// A loaded custom workload must generate and simulate like a built-in one.
+func TestLoadedClipsGenerate(t *testing.T) {
+	clips, err := LoadClips(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(newTestRNG(), clips, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) == 0 {
+		t.Fatal("empty trace from loaded clips")
+	}
+}
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(99) }

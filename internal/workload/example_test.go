@@ -1,0 +1,30 @@
+package workload_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartbadge/internal/stats"
+	"smartbadge/internal/workload"
+)
+
+// Generate the paper's first Table 3 workload: the six-clip audio sequence
+// ACEFBD, whose arrival and decode rates change at every clip boundary.
+func Example() {
+	clips, err := workload.MP3Sequence("ACEFBD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := workload.Generate(stats.NewRNG(1), clips, workload.GenerateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d clips, %.0f s, %d rate changes\n",
+		len(clips), tr.Duration, len(tr.Changes))
+	first, last := tr.Changes[0], tr.Changes[len(tr.Changes)-1]
+	fmt.Printf("opens at λU=%.1f fr/s, ends at λU=%.1f fr/s\n",
+		first.ArrivalRate, last.ArrivalRate)
+	// Output:
+	// 6 clips, 653 s, 6 rate changes
+	// opens at λU=38.3 fr/s, ends at λU=38.3 fr/s
+}
