@@ -660,3 +660,90 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel-engine benchmarks ---------------------------------------------
+
+// BenchmarkCharacteriseParallel measures the off-line characterisation on a
+// multi-ratio grid at 1, 2 and 4 workers. The per-ratio Monte Carlo loops are
+// independent (index-derived RNG streams), so on a multi-core host the
+// speedup tracks the worker count; on a single-core host every width
+// degenerates to the serial cost.
+func BenchmarkCharacteriseParallel(b *testing.B) {
+	rates, err := changepoint.GeometricRates(10, 60, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := changepoint.DefaultConfig(rates)
+				cfg.CharacterisationWindows = 1000
+				cfg.Seed = uint64(i) + 1
+				cfg.Workers = workers
+				if _, err := changepoint.Characterise(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplicateParallel measures a seed-replicated experiment (the
+// Fig. 6 interarrival fit, one full trace generation + fit per replica) at
+// 1, 2 and 4 workers. The Metric is identical at every width.
+func BenchmarkReplicateParallel(b *testing.B) {
+	const replicas = 8
+	f := func(seed uint64) (float64, error) {
+		r, err := experiments.Fig6(seed)
+		if err != nil {
+			return 0, err
+		}
+		return r.MeanAbsError, nil
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.ReplicateWorkers(workers, replicas, uint64(i)+1, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimHotPath measures the simulator event loop alone — trace and
+// controller construction are outside the timed region — so the
+// energy-accounting rewrite (indexed component accumulators, cached per-mode
+// power vectors, O(1) arrival peek) shows up directly in ns/op and allocs/op.
+func BenchmarkSimHotPath(b *testing.B) {
+	tr := ablationTrace(b, 1)
+	first := tr.Changes[0]
+	frames := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctrl, err := policy.NewController(sa1100.Default(), perfmodel.MP3Curve(), 0.15,
+			policy.NewIdeal(first.ArrivalRate), policy.NewIdeal(first.DecodeRateMax), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl.ResetRates(first.ArrivalRate, first.DecodeRateMax)
+		s, err := sim.New(sim.Config{
+			Badge: device.SmartBadge(), Proc: sa1100.Default(),
+			Trace: tr, Controller: ctrl, Kind: workload.MP3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames += res.FramesDecoded
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}

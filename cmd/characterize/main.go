@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"smartbadge/internal/changepoint"
+	"smartbadge/internal/prof"
 )
 
 func main() {
@@ -32,17 +33,22 @@ func main() {
 		windowSize = flag.Int("m", 100, "detection window size m")
 		seed       = flag.Uint64("seed", 0x5eed, "simulation seed")
 		hist       = flag.Bool("hist", false, "print the null-hypothesis statistic histograms")
+		workers    = flag.Int("j", 0, "worker goroutines for the characterisation (0 = GOMAXPROCS); results are identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *hist); err != nil {
+	err := prof.WithCPUProfile(*cpuprofile, func() error {
+		return run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *workers, *hist)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
-	confidence float64, windows, windowSize int, seed uint64, hist bool) error {
+	confidence float64, windows, windowSize int, seed uint64, workers int, hist bool) error {
 	rates, err := parseRates(ratesFlag, lo, hi, n)
 	if err != nil {
 		return err
@@ -52,6 +58,7 @@ func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
 	cfg.CharacterisationWindows = windows
 	cfg.WindowSize = windowSize
 	cfg.Seed = seed
+	cfg.Workers = workers
 
 	th, hists, err := changepoint.CharacteriseDetailed(cfg)
 	if err != nil {

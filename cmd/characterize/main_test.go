@@ -44,7 +44,7 @@ func TestParseRatesErrors(t *testing.T) {
 
 func TestRunCharacterise(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, true); err != nil {
+	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -53,10 +53,29 @@ func TestRunCharacterise(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
-	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, false); err == nil {
+	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, 0, false); err == nil {
 		t.Error("bad rates accepted")
 	}
-	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, false); err == nil {
+	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, 0, false); err == nil {
 		t.Error("bad confidence accepted")
+	}
+	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, -3, false); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}
+
+// TestRunWorkerCountInvariant checks the -j flag end to end: the printed
+// thresholds are byte-identical whether the characterisation runs serially
+// or on several workers.
+func TestRunWorkerCountInvariant(t *testing.T) {
+	var serial, fanned bytes.Buffer
+	if err := run(&serial, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&fanned, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != fanned.String() {
+		t.Error("-j 1 and -j 4 outputs differ")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"smartbadge"
 )
@@ -30,8 +31,12 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print the mode timeline strip")
 		badge     = flag.String("badge", "", "JSON hardware table overriding the built-in Table 1 (see -dumpbadge)")
 		dumpBadge = flag.Bool("dumpbadge", false, "print the built-in hardware table as JSON and exit")
+		workers   = flag.Int("j", 0, "bound parallelism (sets GOMAXPROCS, used by the threshold characterisation; 0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *dumpBadge {
 		if err := smartbadge.WriteDefaultBadgeConfig(os.Stdout); err != nil {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"smartbadge/internal/experiments"
+	"smartbadge/internal/prof"
 )
 
 func main() {
@@ -23,20 +24,25 @@ func main() {
 		// wake-probability constraint only binds once it drops below the
 		// frequency of the long inter-clip gaps (~2e-4 of idle periods on
 		// the combined workload); the default sweep crosses that point.
-		probs = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
+		probs      = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
+		workers    = flag.Int("j", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); results are identical for any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *what, *seed, *probs); err != nil {
+	err := prof.WithCPUProfile(*cpuprofile, func() error {
+		return run(os.Stdout, *what, *seed, *probs, *workers)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, what string, seed uint64, probsFlag string) error {
+func run(w io.Writer, what string, seed uint64, probsFlag string, workers int) error {
 	switch strings.ToLower(what) {
 	case "pareto":
-		points, err := experiments.ParetoFrontier(seed)
+		points, err := experiments.ParetoFrontierWorkers(seed, workers)
 		if err != nil {
 			return err
 		}
@@ -50,7 +56,7 @@ func run(w io.Writer, what string, seed uint64, probsFlag string) error {
 		if err != nil {
 			return err
 		}
-		points, err := experiments.WakeProbSweep(seed, probs)
+		points, err := experiments.WakeProbSweepWorkers(seed, probs, workers)
 		if err != nil {
 			return err
 		}

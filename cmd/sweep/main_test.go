@@ -9,7 +9,7 @@ import (
 
 func TestRunPareto(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "pareto", 1, ""); err != nil {
+	if err := run(&buf, "pareto", 1, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -23,7 +23,7 @@ func TestRunPareto(t *testing.T) {
 
 func TestRunWakeProb(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "wakeprob", 1, "1,0.1"); err != nil {
+	if err := run(&buf, "wakeprob", 1, "1,0.1", 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -33,13 +33,28 @@ func TestRunWakeProb(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "bogus", 1, ""); err == nil {
+	if err := run(io.Discard, "bogus", 1, "", 0); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "x"); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "x", 0); err == nil {
 		t.Error("bad probs accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "0"); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "0", 0); err == nil {
 		t.Error("zero probability accepted")
+	}
+}
+
+// TestRunWakeProbWorkerCountInvariant checks the -j flag end to end: the CSV
+// is byte-identical whether the sweep runs serially or fanned out.
+func TestRunWakeProbWorkerCountInvariant(t *testing.T) {
+	var serial, fanned bytes.Buffer
+	if err := run(&serial, "wakeprob", 2, "1,0.1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&fanned, "wakeprob", 2, "1,0.1", 4); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != fanned.String() {
+		t.Error("-j 1 and -j 4 outputs differ")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"math"
 	"sort"
 
+	"smartbadge/internal/parallel"
 	"smartbadge/internal/stats"
 )
 
@@ -76,6 +77,11 @@ type Config struct {
 	CharacterisationWindows int
 	// Seed drives the characterisation simulation.
 	Seed uint64
+	// Workers bounds the characterisation fan-out: the distinct rate ratios
+	// are simulated concurrently, each on its own index-derived RNG stream,
+	// so the thresholds are bit-for-bit identical for any worker count.
+	// 0 selects runtime.GOMAXPROCS(0); negative is invalid.
+	Workers int
 }
 
 // DefaultConfig returns the paper's operating point: m = 100, check every
@@ -125,6 +131,9 @@ func (c Config) Validate() error {
 	}
 	if c.CharacterisationWindows < 100 {
 		return fmt.Errorf("changepoint: need >= 100 characterisation windows, got %d", c.CharacterisationWindows)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("changepoint: workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -236,25 +245,37 @@ func characterise(cfg Config, keepHistograms bool) (*Thresholds, map[float64]*st
 	if keepHistograms {
 		hists = make(map[float64]*stats.Histogram)
 	}
-	rng := stats.NewRNG(cfg.Seed)
 	// The null distribution depends only on the ratio, and the pivot
-	// λo·Σx lets us simulate once at λo = 1.
+	// λo·Σx lets us simulate once at λo = 1. Collect the distinct ratios in
+	// deterministic scan order, then fan the simulations out: each ratio gets
+	// its own index-derived RNG stream, so the thresholds are identical for
+	// any worker count.
+	seen := make(map[int64]bool)
+	var ratios []float64
 	for _, lo := range cfg.Rates {
 		for _, ln := range cfg.Rates {
 			if lo == ln {
 				continue
 			}
 			ratio := ln / lo
-			key := ratioKey(ratio)
-			if _, done := t.byRatio[key]; done {
-				continue
+			if key := ratioKey(ratio); !seen[key] {
+				seen[key] = true
+				ratios = append(ratios, ratio)
 			}
-			h := characteriseRatio(rng, ratio, cfg)
-			t.byRatio[key] = h.Quantile(cfg.Confidence)
-			t.ratios = append(t.ratios, ratio)
-			if keepHistograms {
-				hists[ratio] = h
-			}
+		}
+	}
+	base := stats.NewRNG(cfg.Seed)
+	hs, err := parallel.Map(cfg.Workers, len(ratios), func(i int) (*stats.Histogram, error) {
+		return characteriseRatio(base.SplitAt(uint64(i)), ratios[i], cfg), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, ratio := range ratios {
+		t.byRatio[ratioKey(ratio)] = hs[i].Quantile(cfg.Confidence)
+		t.ratios = append(t.ratios, ratio)
+		if keepHistograms {
+			hists[ratio] = hs[i]
 		}
 	}
 	sort.Float64s(t.ratios)

@@ -444,3 +444,36 @@ func TestCharacteriseDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestCharacteriseWorkerCountInvariant is the parallel layer's acceptance
+// criterion: the threshold table must be bit-for-bit identical at Workers=1
+// and Workers=8 for the same seed, across several seeds.
+func TestCharacteriseWorkerCountInvariant(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 0x5eed, 987654321} {
+		serial := testConfig()
+		serial.Seed = seed
+		serial.Workers = 1
+		wide := serial
+		wide.Workers = 8
+		a := mustThresholds(t, serial)
+		b := mustThresholds(t, wide)
+		if len(a.Ratios()) != len(b.Ratios()) {
+			t.Fatalf("seed %d: ratio sets differ", seed)
+		}
+		for _, r := range a.Ratios() {
+			av, bv := a.byRatio[ratioKey(r)], b.byRatio[ratioKey(r)]
+			if av != bv {
+				t.Errorf("seed %d, ratio %v: Workers=1 threshold %v != Workers=8 threshold %v",
+					seed, r, av, bv)
+			}
+		}
+	}
+}
+
+func TestConfigRejectsNegativeWorkers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"smartbadge/internal/device"
 	"smartbadge/internal/mdp"
+	"smartbadge/internal/parallel"
 	"smartbadge/internal/perfmodel"
 	"smartbadge/internal/policy"
 	"smartbadge/internal/sa1100"
@@ -45,8 +46,17 @@ func paretoWorkload(seed uint64) (*workload.Trace, float64, float64, error) {
 // families on one stationary workload: the paper's rate-based M/M/1 policy
 // across delay targets, fixed frequencies, and the queue-aware MDP across
 // delay prices. The frontier generalises the trade-off themes of Figures 4,
-// 5 and 9 into a single measured curve.
+// 5 and 9 into a single measured curve. Points run concurrently on up to
+// GOMAXPROCS workers; see ParetoFrontierWorkers to bound the pool.
 func ParetoFrontier(seed uint64) ([]ParetoPoint, error) {
+	return ParetoFrontierWorkers(seed, 0)
+}
+
+// ParetoFrontierWorkers is ParetoFrontier with an explicit worker bound
+// (<= 0 selects runtime.GOMAXPROCS(0), 1 runs serially). Every point is an
+// independent simulation on the shared read-only trace, so the frontier is
+// identical for any worker count.
+func ParetoFrontierWorkers(seed uint64, workers int) ([]ParetoPoint, error) {
 	tr, lambda, decodeMax, err := paretoWorkload(seed)
 	if err != nil {
 		return nil, err
@@ -76,13 +86,14 @@ func ParetoFrontier(seed uint64) ([]ParetoPoint, error) {
 		}, nil
 	}
 
-	var points []ParetoPoint
+	// Assemble the independent points first (order fixed: M/M/1 targets, MDP
+	// prices, fixed frequencies), then fan them out.
+	var jobs []func() (ParetoPoint, error)
 	for _, target := range []float64{0.05, 0.1, 0.2, 0.4} {
-		p, err := run(fmt.Sprintf("mm1(W=%.2fs)", target), target, nil)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, p)
+		target := target
+		jobs = append(jobs, func() (ParetoPoint, error) {
+			return run(fmt.Sprintf("mm1(W=%.2fs)", target), target, nil)
+		})
 	}
 	fMax := proc.Max().FrequencyMHz
 	mu := make([]float64, proc.NumPoints())
@@ -92,33 +103,32 @@ func ParetoFrontier(seed uint64) ([]ParetoPoint, error) {
 		pw[i] = pt.ActivePowerW
 	}
 	for _, beta := range []float64{0.02, 0.1, 0.5, 2} {
-		cfg := mdp.Config{
-			Lambda: lambda, Mu: mu, PowerW: pw,
-			IdlePowerW: proc.IdlePowerW(), DelayWeightW: beta, QueueCap: 60,
-		}
-		pol, err := mdp.Solve(cfg)
-		if err != nil {
-			return nil, err
-		}
-		ladder, err := pol.Ladder(proc)
-		if err != nil {
-			return nil, err
-		}
-		p, err := run(fmt.Sprintf("mdp(β=%.2gW)", beta), 0.15, ladder)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, p)
+		beta := beta
+		jobs = append(jobs, func() (ParetoPoint, error) {
+			cfg := mdp.Config{
+				Lambda: lambda, Mu: mu, PowerW: pw,
+				IdlePowerW: proc.IdlePowerW(), DelayWeightW: beta, QueueCap: 60,
+			}
+			pol, err := mdp.Solve(cfg)
+			if err != nil {
+				return ParetoPoint{}, err
+			}
+			ladder, err := pol.Ladder(proc)
+			if err != nil {
+				return ParetoPoint{}, err
+			}
+			return run(fmt.Sprintf("mdp(β=%.2gW)", beta), 0.15, ladder)
+		})
 	}
 	for _, idx := range []int{3, 7, proc.NumPoints() - 1} {
 		op := proc.Point(idx)
-		p, err := run(fmt.Sprintf("fixed(%.1fMHz)", op.FrequencyMHz), 0.15, fixedOp{op})
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, p)
+		jobs = append(jobs, func() (ParetoPoint, error) {
+			return run(fmt.Sprintf("fixed(%.1fMHz)", op.FrequencyMHz), 0.15, fixedOp{op})
+		})
 	}
-	return points, nil
+	return parallel.Map(workers, len(jobs), func(i int) (ParetoPoint, error) {
+		return jobs[i]()
+	})
 }
 
 type fixedOp struct{ op sa1100.OperatingPoint }

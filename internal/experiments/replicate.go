@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+
+	"smartbadge/internal/parallel"
 )
 
 // Metric summarises a quantity across independent workload realisations:
@@ -44,17 +46,26 @@ func Summarise(samples []float64) Metric {
 }
 
 // Replicate evaluates f on n consecutive seeds and summarises the results.
+// Replicas run concurrently on up to GOMAXPROCS workers; the summary is
+// computed over the index-ordered samples, so the Metric is identical to a
+// serial evaluation. Use ReplicateWorkers to bound (or serialise) the pool.
 func Replicate(n int, baseSeed uint64, f func(seed uint64) (float64, error)) (Metric, error) {
+	return ReplicateWorkers(0, n, baseSeed, f)
+}
+
+// ReplicateWorkers is Replicate with an explicit worker bound (<= 0 selects
+// runtime.GOMAXPROCS(0), 1 runs serially). f must be safe for concurrent
+// invocation when more than one worker is in play: every experiment in this
+// package constructs its simulator, controller and workload per call.
+func ReplicateWorkers(workers, n int, baseSeed uint64, f func(seed uint64) (float64, error)) (Metric, error) {
 	if n < 1 {
 		return Metric{}, fmt.Errorf("experiments: need at least one replica, got %d", n)
 	}
-	samples := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		v, err := f(baseSeed + uint64(i))
-		if err != nil {
-			return Metric{}, err
-		}
-		samples = append(samples, v)
+	samples, err := parallel.Map(workers, n, func(i int) (float64, error) {
+		return f(baseSeed + uint64(i))
+	})
+	if err != nil {
+		return Metric{}, err
 	}
 	return Summarise(samples), nil
 }

@@ -101,3 +101,31 @@ func TestTable3ReplicatedClaims(t *testing.T) {
 		t.Errorf("change-point energy excess over ideal = %s; want <= 2%%", excess)
 	}
 }
+
+// TestReplicateWorkerCountInvariant is the parallel layer's acceptance
+// criterion on the experiments side: the replicated Metric must be identical
+// for Workers=1 and Workers=8 across several base seeds, including through a
+// real simulation-backed experiment (Fig6 regenerates a workload and fits it
+// per seed).
+func TestReplicateWorkerCountInvariant(t *testing.T) {
+	fig6 := func(seed uint64) (float64, error) {
+		r, err := Fig6(seed)
+		if err != nil {
+			return 0, err
+		}
+		return r.MeanAbsError, nil
+	}
+	for _, baseSeed := range []uint64{1, 7, 1234} {
+		serial, err := ReplicateWorkers(1, 6, baseSeed, fig6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := ReplicateWorkers(8, 6, baseSeed, fig6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != wide {
+			t.Errorf("base seed %d: Workers=1 %+v != Workers=8 %+v", baseSeed, serial, wide)
+		}
+	}
+}

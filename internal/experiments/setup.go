@@ -111,8 +111,16 @@ func MPEGApp() App {
 }
 
 // thresholdCache memoises the expensive off-line characterisation per rate
-// grid, shared by every experiment and benchmark in the process.
-var thresholdCache sync.Map // string key -> *changepoint.Thresholds
+// grid, shared by every experiment and benchmark in the process. Entries are
+// singleflight: concurrent replicas asking for the same grid block on one
+// characterisation instead of duplicating it.
+var thresholdCache sync.Map // string key -> *thresholdEntry
+
+type thresholdEntry struct {
+	once sync.Once
+	th   *changepoint.Thresholds
+	err  error
+}
 
 func gridKey(rates []float64) string {
 	s := make([]float64, len(rates))
@@ -125,16 +133,12 @@ func gridKey(rates []float64) string {
 // thresholds for a rate grid under the paper's default detector settings.
 func thresholdsFor(rates []float64) (*changepoint.Thresholds, changepoint.Config, error) {
 	cfg := changepoint.DefaultConfig(rates)
-	key := gridKey(rates)
-	if v, ok := thresholdCache.Load(key); ok {
-		return v.(*changepoint.Thresholds), cfg, nil
-	}
-	th, err := changepoint.Characterise(cfg)
-	if err != nil {
-		return nil, cfg, err
-	}
-	thresholdCache.Store(key, th)
-	return th, cfg, nil
+	v, _ := thresholdCache.LoadOrStore(gridKey(rates), &thresholdEntry{})
+	entry := v.(*thresholdEntry)
+	entry.once.Do(func() {
+		entry.th, entry.err = changepoint.Characterise(cfg)
+	})
+	return entry.th, cfg, entry.err
 }
 
 // ExpAvgGain is the exponential-average gain used in the table comparisons

@@ -6,6 +6,7 @@ import (
 
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
+	"smartbadge/internal/parallel"
 )
 
 // WakeProbPoint is one point of the performance-constrained DPM sweep.
@@ -44,7 +45,17 @@ func (c *idleCounter) Name() string          { return c.inner.Name() }
 // constraint: the DPM timeout is the minimum-energy timeout subject to
 // "wake-up penalty in at most p of idle periods", swept over p on the
 // combined Table 5 workload (with ideal-detection DVS held fixed).
+// Constraint points run concurrently on up to GOMAXPROCS workers; see
+// WakeProbSweepWorkers to bound the pool.
 func WakeProbSweep(seed uint64, probs []float64) ([]WakeProbPoint, error) {
+	return WakeProbSweepWorkers(seed, probs, 0)
+}
+
+// WakeProbSweepWorkers is WakeProbSweep with an explicit worker bound
+// (<= 0 selects runtime.GOMAXPROCS(0), 1 runs serially). Each constraint
+// point simulates independently on the shared read-only trace and idle
+// model, so the sweep is identical for any worker count.
+func WakeProbSweepWorkers(seed uint64, probs []float64, workers int) ([]WakeProbPoint, error) {
 	if len(probs) == 0 {
 		return nil, fmt.Errorf("experiments: no constraint points")
 	}
@@ -54,21 +65,20 @@ func WakeProbSweep(seed uint64, probs []float64) ([]WakeProbPoint, error) {
 	}
 	costs := dpm.CostsForBadge(device.SmartBadge(), device.Standby)
 	idleModel := tr.IdleModel()
-	app := MixedApp()
-	var points []WakeProbPoint
-	for _, p := range probs {
+	return parallel.Map(workers, len(probs), func(i int) (WakeProbPoint, error) {
+		p := probs[i]
 		tau, err := dpm.ConstrainedTimeout(idleModel, costs, p)
 		if err != nil {
-			return nil, err
+			return WakeProbPoint{}, err
 		}
 		pol, err := dpm.NewFixedTimeout(tau, device.Standby)
 		if err != nil {
-			return nil, err
+			return WakeProbPoint{}, err
 		}
 		counter := &idleCounter{inner: pol}
-		res, err := RunPolicy(Ideal, app, tr, counter)
+		res, err := RunPolicy(Ideal, MixedApp(), tr, counter)
 		if err != nil {
-			return nil, err
+			return WakeProbPoint{}, err
 		}
 		pt := WakeProbPoint{
 			MaxWakeProb: p,
@@ -80,9 +90,8 @@ func WakeProbSweep(seed uint64, probs []float64) ([]WakeProbPoint, error) {
 		if counter.idles > 0 {
 			pt.MeasuredWakeProb = float64(res.Sleeps) / float64(counter.idles)
 		}
-		points = append(points, pt)
-	}
-	return points, nil
+		return pt, nil
+	})
 }
 
 // FormatWakeProbSweep renders the sweep.

@@ -1,0 +1,97 @@
+// Package parallel is the bounded, deterministic fan-out layer used by every
+// embarrassingly parallel Monte Carlo computation in this repository: the
+// off-line change-point threshold characterisation, the seed-replicated table
+// regeneration, and the Pareto/wake-probability policy sweeps.
+//
+// Determinism contract. Results are index-addressed: Map writes task i's
+// result into slot i, so the output is independent of goroutine scheduling.
+// Callers that need randomness derive one independent stream per index with
+// stats.RNG.SplitAt(i) from a single base seed, which makes every result
+// bit-for-bit identical whether the work runs on 1 worker or 64.
+//
+// Error contract. The first error cancels the pool (no new tasks start;
+// running tasks finish), and all errors collected are aggregated with
+// errors.Join in index order.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0..n-1) on up to workers goroutines (workers <= 0 selects
+// GOMAXPROCS) and blocks until every started task returns. The first error
+// stops further tasks from starting; all errors observed are joined in index
+// order. fn must be safe for concurrent invocation when workers != 1.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Serial fast path: no goroutines, still first-error semantics.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+	)
+	errs := make([]error, n)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Map runs fn over indices 0..n-1 with ForEach's scheduling and returns the
+// results in index order. On error the partial results are discarded.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

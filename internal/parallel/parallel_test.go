@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"smartbadge/internal/stats"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", w)
+	}
+	if w := Workers(-3); w < 1 {
+		t.Errorf("Workers(-3) = %d, want >= 1", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Errorf("Workers(7) = %d", w)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		hit := make([]atomic.Int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			hit[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hit {
+			if got := hit[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrorPropagatesAndCancels(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(workers, 1000, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return fmt.Errorf("task %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v does not wrap sentinel", workers, err)
+		}
+		// Early cancellation: nowhere near all 1000 tasks should have run.
+		// (The bound is loose — a worker can claim one more index between the
+		// error and the stop flag.)
+		if got := ran.Load(); got > 100 {
+			t.Errorf("workers=%d: %d tasks ran after early error", workers, got)
+		}
+	}
+}
+
+func TestForEachJoinsMultipleErrors(t *testing.T) {
+	// With workers == n, several tasks can fail before the stop flag is seen;
+	// all recorded failures must surface through errors.Join.
+	err := ForEach(4, 4, func(i int) error { return fmt.Errorf("fail-%d", i) })
+	if err == nil {
+		t.Fatal("no error")
+	}
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(workers, 40, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil + error", out, err)
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the package's core guarantee:
+// index-split RNG streams make the fan-out result independent of scheduling.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []float64 {
+		base := stats.NewRNG(0xfeed)
+		out, err := Map(workers, 64, func(i int) (float64, error) {
+			rng := base.SplitAt(uint64(i))
+			sum := 0.0
+			for k := 0; k < 100; k++ {
+				sum += rng.Exp(2)
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8, 32} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d differs: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package prof wraps runtime/pprof CPU profiling behind the -cpuprofile
+// flag the command-line tools share, so profiling a characterisation or a
+// sweep is one flag rather than a recompile.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// WithCPUProfile runs f under a CPU profile written to path. An empty path
+// runs f unprofiled. The profile is flushed and the file closed before
+// returning, even when f fails.
+func WithCPUProfile(path string, f func() error) error {
+	if path == "" {
+		return f()
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create %s: %w", path, err)
+	}
+	defer file.Close()
+	if err := pprof.StartCPUProfile(file); err != nil {
+		return fmt.Errorf("prof: start profile: %w", err)
+	}
+	defer pprof.StopCPUProfile()
+	return f()
+}

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"smartbadge/internal/device"
@@ -172,23 +171,57 @@ type event struct {
 	target device.PowerState // sleep timer's destination state
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq). It
+// stores events directly rather than going through container/heap, whose
+// interface{} Push/Pop boxes every event — two allocations per event, the
+// dominant allocation cost of a run. seq is unique, so the order is total
+// and pops are deterministic.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		min := i
+		if left < n && q.less(left, min) {
+			min = left
+		}
+		if right < n && q.less(right, min) {
+			min = right
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Simulator executes one run. Create with New, drive with Run.
@@ -211,10 +244,29 @@ type Simulator struct {
 	lastArrive float64
 	haveArrive bool
 	nextFrame  int
+	// pendingArrival is the time of the single outstanding evArrival in the
+	// heap, or -1 when the trace is exhausted — an O(1) replacement for
+	// scanning the heap at every idle entry.
+	pendingArrival float64
 	// curKind is the application kind of the burst currently streaming,
 	// taken from the arriving frame's clip.
 	curKind workload.Kind
 	res     Result
+
+	// Hot-path caches. energyComp accumulates joules per component in badge
+	// order (materialised into Result.EnergyByComponent once, at the end of
+	// Run). powerVec caches the per-component power vector of each mode;
+	// powerOK invalidates a mode's vector when an input it depends on changes
+	// (appliedOp → decode/wake, curKind → decode/idle, sleepState → sleep).
+	energyComp []float64
+	powerVec   [numModes][]float64
+	powerOK    [numModes]bool
+	// wlanIdx/sramIdx/dramIdx locate the components charged per-event
+	// (-1 when absent from the badge); wlanRxE and memCoef precompute the
+	// constant factors of those per-event charges.
+	wlanIdx, sramIdx, dramIdx int
+	wlanRxE                   float64
+	sramCoef, dramCoef        float64
 }
 
 // New validates the configuration and returns a ready simulator.
@@ -244,14 +296,29 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, fmt.Errorf("sim: negative buffer capacity")
 	}
 	s := &Simulator{
-		cfg:       cfg,
-		badge:     cfg.Badge.Components(),
-		mode:      ModeAwakeIdle,
-		appliedOp: cfg.Controller.Current(),
-		buffer:    queue.NewBuffer(),
-		curKind:   cfg.Kind,
+		cfg:            cfg,
+		badge:          cfg.Badge.Components(),
+		mode:           ModeAwakeIdle,
+		appliedOp:      cfg.Controller.Current(),
+		buffer:         queue.NewBuffer(),
+		curKind:        cfg.Kind,
+		pendingArrival: -1,
 	}
-	s.res.EnergyByComponent = make(map[string]float64, len(s.badge))
+	s.energyComp = make([]float64, len(s.badge))
+	s.wlanIdx, s.sramIdx, s.dramIdx = -1, -1, -1
+	for i, c := range s.badge {
+		switch c.Name {
+		case device.NameWLAN:
+			s.wlanIdx = i
+			s.wlanRxE = (c.Power(device.Active) - c.Power(device.Idle)) * cfg.WLANRxSeconds
+		case device.NameSRAM:
+			s.sramIdx = i
+			s.sramCoef = (c.Power(device.Active) - c.Power(device.Idle)) * perfmodel.MP3Curve().MemFraction
+		case device.NameDRAM:
+			s.dramIdx = i
+			s.dramCoef = (c.Power(device.Active) - c.Power(device.Idle)) * perfmodel.MPEGCurve().MemFraction
+		}
+	}
 	return s, nil
 }
 
@@ -306,7 +373,29 @@ func (s *Simulator) componentPower(c device.Component) float64 {
 	}
 }
 
-// chargeTo integrates energy from s.now to t in the current mode.
+// modePower returns the cached per-component power vector for the current
+// mode, rebuilding it only when an input it depends on changed since the
+// last rebuild (see powerOK).
+func (s *Simulator) modePower() []float64 {
+	m := s.mode
+	if !s.powerOK[m] {
+		pv := s.powerVec[m]
+		if pv == nil {
+			pv = make([]float64, len(s.badge))
+			s.powerVec[m] = pv
+		}
+		for i, c := range s.badge {
+			pv[i] = s.componentPower(c)
+		}
+		s.powerOK[m] = true
+	}
+	return s.powerVec[m]
+}
+
+// chargeTo integrates energy from s.now to t in the current mode: a dot
+// product of the cached power vector with dt, accumulated into the
+// index-addressed per-component totals (no map writes, no per-component
+// state dispatch on the hot path).
 func (s *Simulator) chargeTo(t float64) {
 	dt := t - s.now
 	if dt < 0 {
@@ -314,10 +403,10 @@ func (s *Simulator) chargeTo(t float64) {
 	}
 	if dt > 0 {
 		s.recordSpan(s.now, t)
-		for _, c := range s.badge {
-			p := s.componentPower(c)
+		pv := s.modePower()
+		for i, p := range pv {
 			e := p * dt
-			s.res.EnergyByComponent[c.Name] += e
+			s.energyComp[i] += e
 			s.res.EnergyJ += e
 			s.res.EnergyByMode[s.mode] += e
 		}
@@ -333,14 +422,19 @@ func (s *Simulator) chargeTo(t float64) {
 func (s *Simulator) push(e event) {
 	s.seq++
 	e.seq = s.seq
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
-// scheduleNextArrival queues the next trace frame, if any.
+// scheduleNextArrival queues the next trace frame, if any, and keeps the
+// tracked pendingArrival time in sync.
 func (s *Simulator) scheduleNextArrival() {
 	if s.nextFrame < len(s.cfg.Trace.Frames) {
-		s.push(event{time: s.cfg.Trace.Frames[s.nextFrame].Arrival, kind: evArrival, frame: s.nextFrame})
+		t := s.cfg.Trace.Frames[s.nextFrame].Arrival
+		s.push(event{time: t, kind: evArrival, frame: s.nextFrame})
+		s.pendingArrival = t
 		s.nextFrame++
+	} else {
+		s.pendingArrival = -1
 	}
 }
 
@@ -359,6 +453,8 @@ func (s *Simulator) startDecodeIfPossible() {
 	extra := 0.0
 	if target != s.appliedOp {
 		s.appliedOp = target
+		s.powerOK[ModeDecode] = false
+		s.powerOK[ModeWake] = false
 		extra = s.cfg.Proc.SwitchLatency()
 		s.res.Reconfigurations++
 	}
@@ -396,15 +492,11 @@ func (s *Simulator) enterIdle() {
 	}
 }
 
-// peekNextArrivalTime returns the next pending arrival's time or -1.
+// peekNextArrivalTime returns the next pending arrival's time or -1 when the
+// trace is exhausted. The time is tracked in scheduleNextArrival/Run rather
+// than found by scanning the heap, so idle entry is O(1).
 func (s *Simulator) peekNextArrivalTime() float64 {
-	// The single outstanding arrival sits in the heap; find it.
-	for _, e := range s.events {
-		if e.kind == evArrival {
-			return e.time
-		}
-	}
-	return -1
+	return s.pendingArrival
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -416,10 +508,13 @@ func (s *Simulator) Run() (*Result, error) {
 	s.enterIdle()
 	frames := s.cfg.Trace.Frames
 	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		switch e.kind {
 		case evArrival:
 			s.chargeTo(e.time)
+			// This arrival is leaving the heap; scheduleNextArrival below
+			// re-establishes the tracked pending time (or -1 at trace end).
+			s.pendingArrival = -1
 			f := frames[e.frame]
 			s.handleArrival(f)
 			s.scheduleNextArrival()
@@ -432,14 +527,14 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			s.chargeTo(e.time)
 			s.mode = ModeSleep
-			s.sleepState = e.target
+			s.setSleepState(e.target)
 			s.res.Sleeps++
 		case evDeepenTimer:
 			if e.epoch != s.epoch || s.mode != ModeSleep {
 				continue // stale: the badge woke (or never slept)
 			}
 			s.chargeTo(e.time)
-			s.sleepState = e.target
+			s.setSleepState(e.target)
 			s.res.Deepens++
 		case evWakeDone:
 			s.chargeTo(e.time)
@@ -451,12 +546,37 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.now > 0 {
 		s.res.AvgPowerW = s.res.EnergyJ / s.now
 	}
+	// Materialise the per-component energy map once, from the hot-path
+	// index-addressed accumulator.
+	s.res.EnergyByComponent = make(map[string]float64, len(s.badge))
+	for i, c := range s.badge {
+		s.res.EnergyByComponent[c.Name] = s.energyComp[i]
+	}
 	s.res.PeakQueue = s.buffer.Peak()
 	if s.res.FramesDecoded+s.res.FramesDropped != len(frames) {
 		return nil, fmt.Errorf("sim: decoded %d + dropped %d of %d frames",
 			s.res.FramesDecoded, s.res.FramesDropped, len(frames))
 	}
 	return &s.res, nil
+}
+
+// setSleepState updates the low-power state, invalidating the sleep-mode
+// power vector when it actually changes.
+func (s *Simulator) setSleepState(st device.PowerState) {
+	if st != s.sleepState {
+		s.sleepState = st
+		s.powerOK[ModeSleep] = false
+	}
+}
+
+// setCurKind updates the streaming application kind, invalidating the power
+// vectors that depend on it (display activity in decode and awake-idle).
+func (s *Simulator) setCurKind(k workload.Kind) {
+	if k != s.curKind {
+		s.curKind = k
+		s.powerOK[ModeDecode] = false
+		s.powerOK[ModeAwakeIdle] = false
+	}
 }
 
 func (s *Simulator) handleArrival(f workload.TraceFrame) {
@@ -472,14 +592,13 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 	s.lastArrive = f.Arrival
 	s.haveArrive = true
 	if clips := s.cfg.Trace.Clips; len(clips) > 0 && f.ClipIndex < len(clips) {
-		s.curKind = clips[f.ClipIndex].Kind
+		s.setCurKind(clips[f.ClipIndex].Kind)
 	}
 	// The radio's RX burst for this frame (see Config.WLANRxSeconds).
-	if wlan, ok := s.cfg.Badge.Component(device.NameWLAN); ok {
-		rxE := (wlan.Power(device.Active) - wlan.Power(device.Idle)) * s.cfg.WLANRxSeconds
-		s.res.EnergyByComponent[wlan.Name] += rxE
-		s.res.EnergyJ += rxE
-		s.res.EnergyByMode[s.mode] += rxE
+	if s.wlanIdx >= 0 {
+		s.energyComp[s.wlanIdx] += s.wlanRxE
+		s.res.EnergyJ += s.wlanRxE
+		s.res.EnergyByMode[s.mode] += s.wlanRxE
 	}
 
 	if s.cfg.BufferCap > 0 && s.buffer.Len() >= s.cfg.BufferCap {
@@ -528,16 +647,15 @@ func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
 	}
 	// Charge the frame's data-memory activity: the access time is the memory
 	// fraction of the frame's full-speed decode time, independent of the
-	// clock the frame actually decoded at.
-	memName := device.NameSRAM
-	curve := perfmodel.MP3Curve()
+	// clock the frame actually decoded at. The coefficient (power delta ×
+	// memory fraction) is precomputed per kind in New.
+	memIdx, memCoef := s.sramIdx, s.sramCoef
 	if s.curKind == workload.MPEG {
-		memName = device.NameDRAM
-		curve = perfmodel.MPEGCurve()
+		memIdx, memCoef = s.dramIdx, s.dramCoef
 	}
-	if mem, ok := s.cfg.Badge.Component(memName); ok {
-		memE := (mem.Power(device.Active) - mem.Power(device.Idle)) * curve.MemFraction * f.Work
-		s.res.EnergyByComponent[memName] += memE
+	if memIdx >= 0 {
+		memE := memCoef * f.Work
+		s.energyComp[memIdx] += memE
 		s.res.EnergyJ += memE
 		s.res.EnergyByMode[ModeDecode] += memE
 	}

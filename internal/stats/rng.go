@@ -47,6 +47,23 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// SplitAt derives the i-th member of a family of statistically independent
+// streams from r's current state WITHOUT advancing r: it is a pure function
+// of (state, i), so concurrent workers can each take their own stream from a
+// shared base generator and the result is independent of scheduling order.
+// This is the derivation every parallel Monte Carlo loop in the repository
+// uses (see internal/parallel).
+func (r *RNG) SplitAt(i uint64) *RNG {
+	// Scramble the index through splitmix64, fold in the full state, and
+	// reseed (NewRNG runs a second splitmix64 pass per word).
+	z := i + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	seed := z ^ r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 29) ^ rotl(r.s[3], 43)
+	return NewRNG(seed)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
