@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"smartbadge/internal/changepoint"
+	"smartbadge/internal/obs"
 	"smartbadge/internal/prof"
 )
 
@@ -35,11 +36,13 @@ func main() {
 		hist       = flag.Bool("hist", false, "print the null-hypothesis statistic histograms")
 		workers    = flag.Int("j", 0, "worker goroutines for the characterisation (0 = GOMAXPROCS); results are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
+		traceOut   = flag.String("trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
 	)
 	flag.Parse()
 
 	err := prof.WithCPUProfile(*cpuprofile, func() error {
-		return run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *workers, *hist)
+		return run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *workers, *hist, *metricsOut, *traceOut)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
@@ -48,7 +51,8 @@ func main() {
 }
 
 func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
-	confidence float64, windows, windowSize int, seed uint64, workers int, hist bool) error {
+	confidence float64, windows, windowSize int, seed uint64, workers int, hist bool,
+	metricsOut, traceOut string) error {
 	rates, err := parseRates(ratesFlag, lo, hi, n)
 	if err != nil {
 		return err
@@ -59,6 +63,17 @@ func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
 	cfg.WindowSize = windowSize
 	cfg.Seed = seed
 	cfg.Workers = workers
+
+	art, err := obs.OpenArtifacts(metricsOut, traceOut, obs.NewManifest("characterize", seed, workers, map[string]any{
+		"rates":      fmt.Sprint(rates),
+		"confidence": confidence,
+		"windows":    windows,
+		"m":          windowSize,
+	}))
+	if err != nil {
+		return err
+	}
+	cfg.Obs = art.Observability()
 
 	th, hists, err := changepoint.CharacteriseDetailed(cfg)
 	if err != nil {
@@ -86,7 +101,7 @@ func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
 			fmt.Fprintf(w, "\nnull statistic histogram, ratio %.4f:\n%s", r, h.String())
 		}
 	}
-	return nil
+	return art.Close()
 }
 
 func parseRates(s string, lo, hi float64, n int) ([]float64, error) {

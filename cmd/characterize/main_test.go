@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -44,7 +46,7 @@ func TestParseRatesErrors(t *testing.T) {
 
 func TestRunCharacterise(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, true); err != nil {
+	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -53,13 +55,13 @@ func TestRunCharacterise(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
-	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, 0, false); err == nil {
+	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, 0, false, "", ""); err == nil {
 		t.Error("bad rates accepted")
 	}
-	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, 0, false); err == nil {
+	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, 0, false, "", ""); err == nil {
 		t.Error("bad confidence accepted")
 	}
-	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, -3, false); err == nil {
+	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, -3, false, "", ""); err == nil {
 		t.Error("negative worker count accepted")
 	}
 }
@@ -69,13 +71,44 @@ func TestRunCharacterise(t *testing.T) {
 // or on several workers.
 func TestRunWorkerCountInvariant(t *testing.T) {
 	var serial, fanned bytes.Buffer
-	if err := run(&serial, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 1, true); err != nil {
+	if err := run(&serial, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 1, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&fanned, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 4, true); err != nil {
+	if err := run(&fanned, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 4, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != fanned.String() {
 		t.Error("-j 1 and -j 4 outputs differ")
+	}
+}
+
+// TestRunObservabilityArtifacts checks the -metrics-out/-trace-out wiring:
+// the characterisation timer, per-ratio threshold events and the manifest.
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	metrics := dir + "/char.metrics.json"
+	trace := dir + "/char.trace.jsonl"
+	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, false, metrics, trace); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["changepoint.characterise.ratios"] != 2 {
+		t.Errorf("ratio counter = %v", snap.Counters)
+	}
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), `"kind":"threshold"`); n != 2 {
+		t.Errorf("threshold events = %d, want 2", n)
 	}
 }

@@ -7,6 +7,7 @@
 //	dvsim -app mp3 -seq ACEFBD -policy changepoint
 //	dvsim -app mpeg -clip football -policy ideal
 //	dvsim -app mixed -policy changepoint -dpm renewal -seed 7
+//	dvsim -app mp3 -seq ACEFBD -metrics-out run.metrics.json -trace-out run.trace.jsonl
 package main
 
 import (
@@ -16,26 +17,42 @@ import (
 	"runtime"
 
 	"smartbadge"
+	"smartbadge/internal/obs"
 )
 
+// runConfig carries the parsed command line into run.
+type runConfig struct {
+	app, seq, clip string
+	pol, dpmMode   string
+	timeout        float64
+	seed           uint64
+	traceFile      string
+	timeline       bool
+	badgeFile      string
+	workers        int
+	metricsOut     string
+	traceOut       string
+}
+
 func main() {
-	var (
-		app       = flag.String("app", "mp3", "application: mp3 | mpeg | mixed")
-		seq       = flag.String("seq", "ACEFBD", "MP3 clip sequence (labels A-F)")
-		clip      = flag.String("clip", "football", "MPEG clip: football | terminator2")
-		pol       = flag.String("policy", "changepoint", "DVS policy: ideal | changepoint | expavg | max")
-		dpmMode   = flag.String("dpm", "none", "DPM mode: none | timeout | renewal | tismdp | oracle")
-		timeout   = flag.Float64("timeout", 0, "fixed DPM timeout in seconds (0 = break-even)")
-		seed      = flag.Uint64("seed", 1, "workload generation seed")
-		traceFile = flag.String("tracefile", "", "replay a CSV trace (from tracegen) instead of generating one")
-		timeline  = flag.Bool("timeline", false, "print the mode timeline strip")
-		badge     = flag.String("badge", "", "JSON hardware table overriding the built-in Table 1 (see -dumpbadge)")
-		dumpBadge = flag.Bool("dumpbadge", false, "print the built-in hardware table as JSON and exit")
-		workers   = flag.Int("j", 0, "bound parallelism (sets GOMAXPROCS, used by the threshold characterisation; 0 = all CPUs); results are identical for any value")
-	)
+	var c runConfig
+	flag.StringVar(&c.app, "app", "mp3", "application: mp3 | mpeg | mixed")
+	flag.StringVar(&c.seq, "seq", "ACEFBD", "MP3 clip sequence (labels A-F)")
+	flag.StringVar(&c.clip, "clip", "football", "MPEG clip: football | terminator2")
+	flag.StringVar(&c.pol, "policy", "changepoint", "DVS policy: ideal | changepoint | expavg | max")
+	flag.StringVar(&c.dpmMode, "dpm", "none", "DPM mode: none | timeout | renewal | tismdp | oracle")
+	flag.Float64Var(&c.timeout, "timeout", 0, "fixed DPM timeout in seconds (0 = break-even)")
+	flag.Uint64Var(&c.seed, "seed", 1, "workload generation seed")
+	flag.StringVar(&c.traceFile, "tracefile", "", "replay a CSV trace (from tracegen) instead of generating one")
+	flag.BoolVar(&c.timeline, "timeline", false, "print the mode timeline strip")
+	flag.StringVar(&c.badgeFile, "badge", "", "JSON hardware table overriding the built-in Table 1 (see -dumpbadge)")
+	dumpBadge := flag.Bool("dumpbadge", false, "print the built-in hardware table as JSON and exit")
+	flag.IntVar(&c.workers, "j", 0, "bound parallelism (sets GOMAXPROCS, used by the threshold characterisation; 0 = all CPUs); results are identical for any value")
+	flag.StringVar(&c.metricsOut, "metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
+	flag.StringVar(&c.traceOut, "trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
 	flag.Parse()
-	if *workers > 0 {
-		runtime.GOMAXPROCS(*workers)
+	if c.workers > 0 {
+		runtime.GOMAXPROCS(c.workers)
 	}
 
 	if *dumpBadge {
@@ -45,29 +62,29 @@ func main() {
 		}
 		return
 	}
-	if err := run(*app, *seq, *clip, *pol, *dpmMode, *timeout, *seed, *traceFile, *timeline, *badge); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "dvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, seq, clip, pol, dpmMode string, timeout float64, seed uint64, traceFile string, timeline bool, badgeFile string) error {
-	application, err := smartbadge.ParseApplication(app)
+func run(c runConfig) error {
+	application, err := smartbadge.ParseApplication(c.app)
 	if err != nil {
 		return err
 	}
-	policy, err := smartbadge.ParsePolicy(pol)
+	policy, err := smartbadge.ParsePolicy(c.pol)
 	if err != nil {
 		return err
 	}
-	dpm, err := smartbadge.ParseDPM(dpmMode)
+	dpm, err := smartbadge.ParseDPM(c.dpmMode)
 	if err != nil {
 		return err
 	}
 
 	var trace *smartbadge.Trace
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
+	if c.traceFile != "" {
+		f, err := os.Open(c.traceFile)
 		if err != nil {
 			return err
 		}
@@ -79,29 +96,44 @@ func run(app, seq, clip, pol, dpmMode string, timeout float64, seed uint64, trac
 	} else {
 		switch application {
 		case smartbadge.AppMP3:
-			trace, err = smartbadge.MP3Trace(seed, seq)
+			trace, err = smartbadge.MP3Trace(c.seed, c.seq)
 		case smartbadge.AppMPEG:
-			trace, err = smartbadge.MPEGTrace(seed, clip)
+			trace, err = smartbadge.MPEGTrace(c.seed, c.clip)
 		case smartbadge.AppMixed:
-			trace, err = smartbadge.CombinedTrace(seed)
+			trace, err = smartbadge.CombinedTrace(c.seed)
 		}
 		if err != nil {
 			return err
 		}
 	}
 
+	art, err := obs.OpenArtifacts(c.metricsOut, c.traceOut, obs.NewManifest("dvsim", c.seed, c.workers, map[string]any{
+		"app":       c.app,
+		"seq":       c.seq,
+		"clip":      c.clip,
+		"policy":    c.pol,
+		"dpm":       c.dpmMode,
+		"timeout":   c.timeout,
+		"tracefile": c.traceFile,
+		"badge":     c.badgeFile,
+	}))
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("workload: %s (%d frames, %.0f s)  policy: %s  dpm: %s  seed: %d\n\n",
-		app, len(trace.Frames), trace.Duration, policy, dpm, seed)
+		c.app, len(trace.Frames), trace.Duration, policy, dpm, c.seed)
 	opts := smartbadge.Options{
 		Application:    application,
 		Policy:         policy,
 		DPM:            dpm,
-		TimeoutS:       timeout,
+		TimeoutS:       c.timeout,
 		Trace:          trace,
-		RecordTimeline: timeline,
+		RecordTimeline: c.timeline,
+		Obs:            art.Observability(),
 	}
-	if badgeFile != "" {
-		f, err := os.Open(badgeFile)
+	if c.badgeFile != "" {
+		f, err := os.Open(c.badgeFile)
 		if err != nil {
 			return err
 		}
@@ -113,9 +145,9 @@ func run(app, seq, clip, pol, dpmMode string, timeout float64, seed uint64, trac
 		return err
 	}
 	fmt.Print(smartbadge.FormatResult(res))
-	if timeline {
+	if c.timeline {
 		fmt.Println()
 		fmt.Print(smartbadge.FormatTimeline(res, 100))
 	}
-	return nil
+	return art.Close()
 }

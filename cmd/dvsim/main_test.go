@@ -1,20 +1,22 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 
 	"smartbadge"
 )
 
 func TestRunMP3(t *testing.T) {
-	if err := run("mp3", "A", "", "ideal", "none", 0, 1, "", false, ""); err != nil {
+	if err := run(runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMPEGWithDPM(t *testing.T) {
-	if err := run("mpeg", "", "football", "max", "timeout", 0.5, 1, "", false, ""); err != nil {
+	if err := run(runConfig{app: "mpeg", clip: "football", pol: "max", dpmMode: "timeout", timeout: 0.5, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,7 +32,7 @@ func TestRunErrors(t *testing.T) {
 		{"mp3", "A", "", "ideal", "bogus"},
 	}
 	for i, c := range cases {
-		if err := run(c.app, c.seq, c.clip, c.pol, c.dpm, 0, 1, "", false, ""); err == nil {
+		if err := run(runConfig{app: c.app, seq: c.seq, clip: c.clip, pol: c.pol, dpmMode: c.dpm, seed: 1}); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
@@ -52,10 +54,10 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("mp3", "", "", "ideal", "none", 0, 1, path, true, ""); err != nil {
+	if err := run(runConfig{app: "mp3", pol: "ideal", dpmMode: "none", seed: 1, traceFile: path, timeline: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("mp3", "", "", "ideal", "none", 0, 1, dir+"/missing.csv", false, ""); err == nil {
+	if err := run(runConfig{app: "mp3", pol: "ideal", dpmMode: "none", seed: 1, traceFile: dir + "/missing.csv"}); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
@@ -71,10 +73,73 @@ func TestRunWithBadgeFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("mp3", "A", "", "ideal", "none", 0, 1, "", false, path); err != nil {
+	if err := run(runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("mp3", "A", "", "ideal", "none", 0, 1, "", false, dir+"/missing.json"); err == nil {
+	if err := run(runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: dir + "/missing.json"}); err == nil {
 		t.Error("missing badge file accepted")
+	}
+}
+
+// TestRunObservabilityArtifacts checks the -metrics-out/-trace-out wiring end
+// to end: the metrics snapshot, JSONL event trace and run manifest all land
+// on disk with the expected content.
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	metrics := dir + "/run.metrics.json"
+	trace := dir + "/run.trace.jsonl"
+	if err := run(runConfig{
+		app: "mp3", seq: "A", pol: "changepoint", dpmMode: "timeout",
+		seed: 1, metricsOut: metrics, traceOut: trace,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sim.frames_decoded"] == 0 {
+		t.Errorf("metrics snapshot missing decoded frames: %v", snap.Counters)
+	}
+
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("trace has only %d events", len(lines))
+	}
+	var last struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Kind != "run_end" {
+		t.Errorf("last trace event = %q, want run_end", last.Kind)
+	}
+
+	raw, err = os.ReadFile(metrics + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Tool   string         `json:"tool"`
+		Seed   uint64         `json:"seed"`
+		Config map[string]any `json:"config"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "dvsim" || man.Seed != 1 || man.Config["policy"] != "changepoint" {
+		t.Errorf("manifest = %+v", man)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"smartbadge/internal/experiments"
+	"smartbadge/internal/obs"
 	"smartbadge/internal/prof"
 )
 
@@ -27,11 +28,13 @@ func main() {
 		probs      = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
 		workers    = flag.Int("j", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); results are identical for any value")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
+		traceOut   = flag.String("trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
 	)
 	flag.Parse()
 
 	err := prof.WithCPUProfile(*cpuprofile, func() error {
-		return run(os.Stdout, *what, *seed, *probs, *workers)
+		return run(os.Stdout, *what, *seed, *probs, *workers, *metricsOut, *traceOut)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -39,24 +42,49 @@ func main() {
 	}
 }
 
-func run(w io.Writer, what string, seed uint64, probsFlag string, workers int) error {
+func run(w io.Writer, what string, seed uint64, probsFlag string, workers int, metricsOut, traceOut string) error {
+	art, err := obs.OpenArtifacts(metricsOut, traceOut, obs.NewManifest("sweep", seed, workers, map[string]any{
+		"what":  what,
+		"probs": probsFlag,
+	}))
+	if err != nil {
+		return err
+	}
+	o := art.Observability()
+	cPoints := o.Registry().Counter("sweep.points")
+	tr := o.Tracer()
+
 	switch strings.ToLower(what) {
 	case "pareto":
+		stop := o.Registry().Timer("sweep.pareto").Start()
 		points, err := experiments.ParetoFrontierWorkers(seed, workers)
+		stop()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, "policy,cpu_power_w,mean_delay_ms,switches")
 		for _, p := range points {
 			fmt.Fprintf(w, "%s,%.6f,%.3f,%d\n", p.Label, p.CPUPowerW, p.MeanDelayMS, p.Switches)
+			cPoints.Inc()
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind:   "sweep_point",
+					Comp:   p.Label,
+					Value:  p.CPUPowerW,
+					DelayS: p.MeanDelayMS / 1000,
+					Detail: fmt.Sprintf("switches=%d", p.Switches),
+				})
+			}
 		}
-		return nil
+		return art.Close()
 	case "wakeprob":
 		probs, err := parseProbs(probsFlag)
 		if err != nil {
 			return err
 		}
+		stop := o.Registry().Timer("sweep.wakeprob").Start()
 		points, err := experiments.WakeProbSweepWorkers(seed, probs, workers)
+		stop()
 		if err != nil {
 			return err
 		}
@@ -64,8 +92,18 @@ func run(w io.Writer, what string, seed uint64, probsFlag string, workers int) e
 		for _, p := range points {
 			fmt.Fprintf(w, "%g,%.4f,%.4f,%d,%.5f,%.4f\n",
 				p.MaxWakeProb, p.TimeoutS, p.EnergyKJ, p.Sleeps, p.MeasuredWakeProb, p.MeanDelayS)
+			cPoints.Inc()
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind:    "sweep_point",
+					Timeout: p.TimeoutS,
+					Value:   p.EnergyKJ * 1000,
+					DelayS:  p.MeanDelayS,
+					Detail:  fmt.Sprintf("max_wake_prob=%g measured=%.5f sleeps=%d", p.MaxWakeProb, p.MeasuredWakeProb, p.Sleeps),
+				})
+			}
 		}
-		return nil
+		return art.Close()
 	default:
 		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob)", what)
 	}

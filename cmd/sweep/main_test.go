@@ -2,14 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
 
 func TestRunPareto(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "pareto", 1, "", 0); err != nil {
+	if err := run(&buf, "pareto", 1, "", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -23,7 +25,7 @@ func TestRunPareto(t *testing.T) {
 
 func TestRunWakeProb(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "wakeprob", 1, "1,0.1", 0); err != nil {
+	if err := run(&buf, "wakeprob", 1, "1,0.1", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -33,13 +35,13 @@ func TestRunWakeProb(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "bogus", 1, "", 0); err == nil {
+	if err := run(io.Discard, "bogus", 1, "", 0, "", ""); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "x", 0); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "x", 0, "", ""); err == nil {
 		t.Error("bad probs accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "0", 0); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "0", 0, "", ""); err == nil {
 		t.Error("zero probability accepted")
 	}
 }
@@ -48,13 +50,50 @@ func TestRunErrors(t *testing.T) {
 // is byte-identical whether the sweep runs serially or fanned out.
 func TestRunWakeProbWorkerCountInvariant(t *testing.T) {
 	var serial, fanned bytes.Buffer
-	if err := run(&serial, "wakeprob", 2, "1,0.1", 1); err != nil {
+	if err := run(&serial, "wakeprob", 2, "1,0.1", 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&fanned, "wakeprob", 2, "1,0.1", 4); err != nil {
+	if err := run(&fanned, "wakeprob", 2, "1,0.1", 4, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != fanned.String() {
 		t.Error("-j 1 and -j 4 outputs differ")
+	}
+}
+
+// TestRunObservabilityArtifacts checks the -metrics-out/-trace-out wiring:
+// per-point events, the point counter and the phase timer all land on disk.
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	metrics := dir + "/sweep.metrics.json"
+	trace := dir + "/sweep.trace.jsonl"
+	if err := run(io.Discard, "wakeprob", 1, "1,0.1", 0, metrics, trace); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Timers   map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"timers"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["sweep.points"] != 2 {
+		t.Errorf("point counter = %v", snap.Counters)
+	}
+	if snap.Timers["sweep.wakeprob"].Count != 1 {
+		t.Errorf("phase timer = %v", snap.Timers)
+	}
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), `"kind":"sweep_point"`); n != 2 {
+		t.Errorf("sweep_point events = %d, want 2", n)
 	}
 }

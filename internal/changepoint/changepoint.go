@@ -37,6 +37,7 @@ import (
 	"math"
 	"sort"
 
+	"smartbadge/internal/obs"
 	"smartbadge/internal/parallel"
 	"smartbadge/internal/stats"
 )
@@ -59,6 +60,11 @@ type Config struct {
 	// a suffix subset is stochastically smaller), and it is what lets the
 	// detector settle within ~10 frames as in Figure 10 instead of waiting
 	// for a full window to refill.
+	//
+	// MinWindow < CheckInterval is allowed but inert: after the window is
+	// cleared, the first evaluation cannot happen before CheckInterval
+	// samples have accumulated anyway, so the effective minimum is
+	// max(MinWindow, CheckInterval).
 	MinWindow int
 	// RefineAfter schedules refinement passes every RefineAfter samples
 	// following a detection, until WindowSize post-change samples have
@@ -82,6 +88,11 @@ type Config struct {
 	// so the thresholds are bit-for-bit identical for any worker count.
 	// 0 selects runtime.GOMAXPROCS(0); negative is invalid.
 	Workers int
+	// Obs, when non-nil, attaches the observability layer to the off-line
+	// characterisation: a phase timer around the simulation, a counter of
+	// simulated windows, and one "threshold" trace event per rate ratio.
+	// It does not affect the computed thresholds.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns the paper's operating point: m = 100, check every
@@ -119,6 +130,13 @@ func (c Config) Validate() error {
 	}
 	if c.CheckInterval < 1 {
 		return fmt.Errorf("changepoint: check interval must be >= 1, got %d", c.CheckInterval)
+	}
+	if c.CheckInterval > c.WindowSize {
+		// The window would evict every sample it buffers between two
+		// evaluations: most observations could never contribute to any
+		// statistic, silently blinding the detector.
+		return fmt.Errorf("changepoint: check interval %d exceeds window size %d (samples would be evicted unevaluated)",
+			c.CheckInterval, c.WindowSize)
 	}
 	if c.MinWindow < 2 || c.MinWindow > c.WindowSize {
 		return fmt.Errorf("changepoint: min window %d must be in [2, %d]", c.MinWindow, c.WindowSize)
@@ -264,31 +282,67 @@ func characterise(cfg Config, keepHistograms bool) (*Thresholds, map[float64]*st
 			}
 		}
 	}
+	stop := cfg.Obs.Registry().Timer("changepoint.characterise").Start()
 	base := stats.NewRNG(cfg.Seed)
 	hs, err := parallel.Map(cfg.Workers, len(ratios), func(i int) (*stats.Histogram, error) {
-		return characteriseRatio(base.SplitAt(uint64(i)), ratios[i], cfg), nil
+		return characteriseRatio(base, i, ratios[i], cfg)
 	})
+	stop()
 	if err != nil {
 		return nil, nil, err
 	}
+	tr := cfg.Obs.Tracer()
 	for i, ratio := range ratios {
-		t.byRatio[ratioKey(ratio)] = hs[i].Quantile(cfg.Confidence)
+		th := hs[i].Quantile(cfg.Confidence)
+		t.byRatio[ratioKey(ratio)] = th
 		t.ratios = append(t.ratios, ratio)
 		if keepHistograms {
 			hists[ratio] = hs[i]
 		}
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: "threshold", NewRate: ratio, Value: th,
+				Detail: fmt.Sprintf("m=%d conf=%g windows=%d", cfg.WindowSize, cfg.Confidence, cfg.CharacterisationWindows)})
+		}
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		reg.Counter("changepoint.characterise.windows").
+			Add(float64(len(ratios) * cfg.CharacterisationWindows))
+		reg.Counter("changepoint.characterise.ratios").Add(float64(len(ratios)))
 	}
 	sort.Float64s(t.ratios)
 	return t, hists, nil
 }
 
 // characteriseRatio simulates null windows at unit rate and returns the
-// histogram of the statistic for candidate rate = ratio.
-func characteriseRatio(rng *stats.RNG, ratio float64, cfg Config) *stats.Histogram {
-	values := make([]float64, cfg.WindowSize)
+// histogram of the statistic for candidate rate = ratio. When the histogram
+// clips near the confidence quantile (extreme statistics landing in the
+// under/overflow bins, which would silently bias the threshold), the span is
+// doubled and the same RNG stream re-simulated — SplitAt is a pure function
+// of (state, index), so every attempt scores the identical sample sequence
+// and widening changes only the binning, never the data. Persistent clipping
+// fails loudly rather than returning a biased threshold.
+func characteriseRatio(base *stats.RNG, idx int, ratio float64, cfg Config) (*stats.Histogram, error) {
 	// Statistic range: ln P is bounded above by m·|ln ratio| in practice;
 	// histogram over a generous span with fine bins.
 	span := float64(cfg.WindowSize)*math.Abs(math.Log(ratio)) + 10
+	const maxAttempts = 8
+	for attempt := 0; ; attempt++ {
+		h := nullStatisticHistogram(base.SplitAt(uint64(idx)), ratio, cfg, span)
+		if !quantileClipped(h, cfg.Confidence) {
+			return h, nil
+		}
+		if attempt == maxAttempts-1 {
+			return nil, fmt.Errorf(
+				"changepoint: null statistic for ratio %v clips near the %.4g quantile even at span ±%g (under=%d over=%d of %d): threshold would be biased",
+				ratio, cfg.Confidence, span, h.UnderflowCount(), h.OverflowCount(), h.Count())
+		}
+		span *= 2
+	}
+}
+
+// nullStatisticHistogram fills one null-hypothesis histogram over [-span, span).
+func nullStatisticHistogram(rng *stats.RNG, ratio float64, cfg Config, span float64) *stats.Histogram {
+	values := make([]float64, cfg.WindowSize)
 	h := stats.NewHistogram(-span, span, 4096)
 	for w := 0; w < cfg.CharacterisationWindows; w++ {
 		for i := range values {
@@ -298,6 +352,23 @@ func characteriseRatio(rng *stats.RNG, ratio float64, cfg Config) *stats.Histogr
 		h.Add(s)
 	}
 	return h
+}
+
+// quantileClipped reports whether out-of-range samples could bias the
+// confidence quantile read from h. Underflow biases it when enough samples
+// sit below the range to swallow the whole quantile target; overflow biases
+// it when the clipped upper tail is of the same order as the tail mass the
+// quantile leaves above itself (factor-two safety margin).
+func quantileClipped(h *stats.Histogram, confidence float64) bool {
+	n := float64(h.Count())
+	if n == 0 {
+		return false
+	}
+	if float64(h.UnderflowCount()) >= math.Ceil(confidence*n) {
+		return true
+	}
+	tail := (1 - confidence) * n
+	return h.OverflowCount() > 0 && float64(h.OverflowCount()) >= tail/2
 }
 
 // For returns the threshold for a change from oldRate to newRate.
@@ -354,6 +425,12 @@ type Detector struct {
 	// sinceDetect counts clean post-detection samples while refinement is
 	// active; -1 means no refinement pending.
 	sinceDetect int
+
+	// Observability (nil when uninstrumented — the fast path).
+	tr      *obs.Tracer
+	label   string
+	cDetect *obs.Counter
+	cRefine *obs.Counter
 }
 
 // NewDetector builds a detector starting from the given initial rate, which
@@ -380,6 +457,36 @@ func NewDetector(cfg Config, th *Thresholds, initialRate float64) (*Detector, er
 		current:     SnapRate(cfg.Rates, initialRate),
 		sinceDetect: -1,
 	}, nil
+}
+
+// Instrument attaches observability to the detector: detections and
+// refinements are counted in the registry under the given label (e.g.
+// "arrival" or "service") and streamed to the tracer as "detect" events.
+// A nil o leaves the detector uninstrumented.
+func (d *Detector) Instrument(o *obs.Obs, label string) {
+	if o == nil {
+		return
+	}
+	d.tr = o.Tracer()
+	d.label = label
+	if r := o.Registry(); r != nil {
+		d.cDetect = r.Counter("changepoint." + label + ".detections")
+		d.cRefine = r.Counter("changepoint." + label + ".refinements")
+	}
+}
+
+// observeDetection records one accepted detection in the observability layer.
+func (d *Detector) observeDetection(det Detection) {
+	if det.Refined {
+		d.cRefine.Inc()
+	} else {
+		d.cDetect.Inc()
+	}
+	if d.tr != nil {
+		d.tr.Emit(obs.Event{Kind: "detect", Comp: d.label,
+			OldRate: det.OldRate, NewRate: det.NewRate,
+			Stat: det.Statistic, Threshold: det.Threshold, Refined: det.Refined})
+	}
 }
 
 // CurrentRate returns the detector's current rate estimate (a grid rate).
@@ -431,13 +538,31 @@ func (d *Detector) Observe(x float64) (Detection, bool) {
 			}
 			if snapped := SnapRate(d.cfg.Rates, mle); mle > 0 && snapped != d.current {
 				det := Detection{
-					OldRate:     d.current,
-					NewRate:     snapped,
-					SampleIndex: d.observed,
-					MLERate:     mle,
-					Refined:     true,
+					OldRate:      d.current,
+					NewRate:      snapped,
+					SampleIndex:  d.observed,
+					ChangeOffset: d.window.Len() - n,
+					MLERate:      mle,
+					Refined:      true,
 				}
 				d.current = snapped
+				// Adopt-and-trim, exactly like the threshold-crossing path
+				// below: discard the samples that predate the original
+				// detection (they may predate the change itself — the
+				// change-point estimate is imprecise) and restart the check
+				// cadence. Without this, the next threshold evaluation
+				// scores a mixed-rate window against the newly adopted
+				// rate, which both hides real follow-up changes and
+				// manufactures spurious ones.
+				if n < d.window.Len() {
+					post := d.window.Values()
+					d.window.Reset()
+					for _, v := range post[len(post)-n:] {
+						d.window.Push(v)
+					}
+				}
+				d.sinceCheck = 0
+				d.observeDetection(det)
 				return det, true
 			}
 		}
@@ -497,5 +622,6 @@ func (d *Detector) Observe(x float64) (Detection, bool) {
 	if d.cfg.RefineAfter > 0 {
 		d.sinceDetect = 0
 	}
+	d.observeDetection(best)
 	return best, true
 }

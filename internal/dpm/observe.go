@@ -1,0 +1,65 @@
+package dpm
+
+import (
+	"smartbadge/internal/obs"
+)
+
+// Observe wraps a policy so that every decision and every completed idle
+// period is recorded: decisions are counted (and sleep decisions traced as
+// "dpm_decide" events with the chosen timeout and target state), and idle
+// durations feed a histogram whose heavy tail is the whole reason the timing
+// of the transition matters (Section 3). A nil o returns p unchanged, so the
+// uninstrumented path pays nothing.
+func Observe(p Policy, o *obs.Obs) Policy {
+	if o == nil || p == nil {
+		return p
+	}
+	w := &observed{inner: p, tr: o.Tracer()}
+	if r := o.Registry(); r != nil {
+		w.cDecisions = r.Counter("dpm.decisions")
+		w.cSleeps = r.Counter("dpm.sleep_decisions")
+		w.hIdle = r.Histogram("dpm.idle_period_s", idleBuckets)
+	}
+	return w
+}
+
+// idleBuckets spans the break-even times of the SmartBadge's sleep states
+// (tens of milliseconds for standby, seconds for off) through the long
+// between-clip gaps where sleeping always pays.
+var idleBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120, 600}
+
+type observed struct {
+	inner Policy
+	tr    *obs.Tracer
+
+	cDecisions *obs.Counter
+	cSleeps    *obs.Counter
+	hIdle      *obs.Histogram
+}
+
+// Decide implements Policy.
+func (w *observed) Decide(oracleIdle float64) Decision {
+	dec := w.inner.Decide(oracleIdle)
+	w.cDecisions.Inc()
+	if dec.Sleep {
+		w.cSleeps.Inc()
+		if w.tr != nil {
+			w.tr.Emit(obs.Event{
+				Kind:    "dpm_decide",
+				Comp:    w.inner.Name(),
+				Timeout: dec.Timeout,
+				Target:  dec.Target.String(),
+			})
+		}
+	}
+	return dec
+}
+
+// ObserveIdle implements Policy.
+func (w *observed) ObserveIdle(duration float64) {
+	w.hIdle.Observe(duration)
+	w.inner.ObserveIdle(duration)
+}
+
+// Name implements Policy.
+func (w *observed) Name() string { return w.inner.Name() }

@@ -14,6 +14,7 @@ import (
 	"smartbadge/internal/changepoint"
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
+	"smartbadge/internal/obs"
 	"smartbadge/internal/perfmodel"
 	"smartbadge/internal/policy"
 	"smartbadge/internal/sa1100"
@@ -197,10 +198,28 @@ func RunPolicy(kind PolicyKind, app App, tr *workload.Trace, pol dpm.Policy) (*s
 // RunPolicyWith is RunPolicy with a hook to adjust the simulator
 // configuration (buffer capacity, timeline recording, …) before the run.
 func RunPolicyWith(kind PolicyKind, app App, tr *workload.Trace, pol dpm.Policy, mutate func(*sim.Config)) (*sim.Result, error) {
+	return RunPolicyObs(kind, app, tr, pol, nil, mutate)
+}
+
+// RunPolicyObs is RunPolicyWith plus observability: when o is non-nil the
+// controller, both change-point detectors (labelled "arrival" and "service"),
+// the DPM policy and the simulator itself all report into it. A nil o is the
+// fast path — no wrapping, no instrumentation, bit-identical results.
+func RunPolicyObs(kind PolicyKind, app App, tr *workload.Trace, pol dpm.Policy, o *obs.Obs, mutate func(*sim.Config)) (*sim.Result, error) {
 	first := tr.Changes[0]
 	ctrl, err := NewController(kind, app, first.ArrivalRate, first.DecodeRateMax)
 	if err != nil {
 		return nil, err
+	}
+	if o != nil {
+		ctrl.Instrument(o)
+		if cp, ok := ctrl.ArrivalEst.(*policy.ChangePoint); ok {
+			cp.Instrument(o, "arrival")
+		}
+		if cp, ok := ctrl.ServiceEst.(*policy.ChangePoint); ok {
+			cp.Instrument(o, "service")
+		}
+		pol = dpm.Observe(pol, o)
 	}
 	cfg := sim.Config{
 		Badge:      device.SmartBadge(),
@@ -209,6 +228,7 @@ func RunPolicyWith(kind PolicyKind, app App, tr *workload.Trace, pol dpm.Policy,
 		Controller: ctrl,
 		DPM:        pol,
 		Kind:       app.Kind,
+		Obs:        o,
 	}
 	if mutate != nil {
 		mutate(&cfg)

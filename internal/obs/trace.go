@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record. The schema is a flat union: every
+// event has a simulated-time stamp T and a Kind, and fills only the fields
+// its kind needs (the rest are omitted from the JSON). Kinds emitted by the
+// stack:
+//
+//	arrival      frame arrived (Frame, Queue)
+//	drop         arrival discarded, buffer full (Frame, Queue)
+//	decode_start decode began (Frame, Queue, ToMHz)
+//	decode_done  decode finished (Frame, Queue, DelayS)
+//	op_change    operating point applied (FromMHz, ToMHz)
+//	op_select    controller reselected a point (FromMHz, ToMHz, ReqMHz)
+//	idle_enter   decoder went idle (Queue)
+//	dpm_decide   DPM chose to sleep (Comp=policy, Timeout, Target)
+//	sleep        sleep timer fired (Target)
+//	deepen       sleep deepened (Target)
+//	wake         wake-up began (Target=state left, DelayS=wake latency)
+//	wake_done    badge usable again
+//	detect       change-point detection (Comp=arrival|service, OldRate,
+//	             NewRate, Stat, Threshold, Refined)
+//	energy       per-component energy accrued since the previous energy
+//	             event (Energy, Mode); the per-run sum over these events
+//	             equals the simulator's reported per-component totals
+//	threshold    characterised detection threshold (NewRate=ratio, Value)
+//	sweep_point  one sweep result row (Comp, Detail)
+//	run_end      simulation finished (Value=total joules)
+type Event struct {
+	T         float64            `json:"t"`
+	Kind      string             `json:"kind"`
+	Comp      string             `json:"comp,omitempty"`
+	Frame     int                `json:"frame,omitempty"` // 1-based frame number
+	Queue     int                `json:"queue,omitempty"`
+	Mode      string             `json:"mode,omitempty"`
+	FromMHz   float64            `json:"from_mhz,omitempty"`
+	ToMHz     float64            `json:"to_mhz,omitempty"`
+	ReqMHz    float64            `json:"req_mhz,omitempty"`
+	Target    string             `json:"target,omitempty"`
+	Timeout   float64            `json:"timeout_s,omitempty"`
+	DelayS    float64            `json:"delay_s,omitempty"`
+	OldRate   float64            `json:"old_rate,omitempty"`
+	NewRate   float64            `json:"new_rate,omitempty"`
+	Stat      float64            `json:"stat,omitempty"`
+	Threshold float64            `json:"threshold,omitempty"`
+	Refined   bool               `json:"refined,omitempty"`
+	Energy    map[string]float64 `json:"energy_j,omitempty"`
+	Value     float64            `json:"value,omitempty"`
+	Detail    string             `json:"detail,omitempty"`
+}
+
+// Tracer streams Events as JSON Lines. Writes are buffered; call Flush when
+// the run is over. Emit is safe for concurrent use (the characterisation
+// fan-out shares one tracer); a nil *Tracer discards everything.
+type Tracer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	clock  func() float64
+	events int64
+	err    error
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// SetClock installs the simulated-time source used to stamp events emitted
+// with a zero T (instrumented components below the simulator do not know the
+// simulation time; the simulator installs its clock here). No-op on nil.
+func (t *Tracer) SetClock(clock func() float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Emit writes one event. Events with T == 0 are stamped from the installed
+// clock, if any. Write errors are sticky: the first is kept (see Err) and
+// subsequent events are dropped. No-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if e.T == 0 && t.clock != nil {
+		e.T = t.clock()
+	}
+	if err := t.enc.Encode(&e); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Events returns the number of events successfully encoded (0 for nil).
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Flush drains the write buffer and returns the first error seen, if any.
+// No-op on a nil tracer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the sticky write error, if any (nil for a nil tracer).
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 
+	"smartbadge/internal/obs"
 	"smartbadge/internal/perfmodel"
 	"smartbadge/internal/queue"
 	"smartbadge/internal/sa1100"
@@ -42,6 +43,10 @@ type Controller struct {
 	// Reconfigurations counts operating-point changes (each costs the
 	// frequency-switch latency).
 	Reconfigurations int
+
+	// Observability (nil when uninstrumented — the fast path).
+	tr        *obs.Tracer
+	cReselect *obs.Counter
 }
 
 // NewController validates and builds a controller, starting at the fastest
@@ -69,6 +74,21 @@ func NewController(proc *sa1100.Processor, curve perfmodel.Curve, targetDelay fl
 		AlwaysMax:   alwaysMax,
 		current:     proc.Max(),
 	}, nil
+}
+
+// Instrument attaches observability: every operating-point reselection is
+// counted and traced as an "op_select" event carrying the continuous
+// required frequency alongside the quantised choice — the controller-side
+// view that explains the "op_change" events the simulator applies at frame
+// boundaries. A nil o leaves the controller uninstrumented.
+func (c *Controller) Instrument(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	c.tr = o.Tracer()
+	if r := o.Registry(); r != nil {
+		c.cReselect = r.Counter("policy.reselects")
+	}
 }
 
 // Current returns the operating point the controller last selected.
@@ -130,10 +150,11 @@ func (c *Controller) requiredFrequencyMHz(lambdaU, lambdaDMax float64) float64 {
 // reselect recomputes the operating point from the current estimates.
 func (c *Controller) reselect() (sa1100.OperatingPoint, bool) {
 	var op sa1100.OperatingPoint
+	var req float64
 	if c.AlwaysMax {
 		op = c.Proc.Max()
 	} else {
-		req := c.requiredFrequencyMHz(c.ArrivalEst.Rate(), c.ServiceEst.Rate())
+		req = c.requiredFrequencyMHz(c.ArrivalEst.Rate(), c.ServiceEst.Rate())
 		op = c.Proc.AtLeast(req)
 		if c.Hysteresis > 0 && c.Hysteresis < 1 && op.FrequencyMHz < c.current.FrequencyMHz {
 			// Downswitch only if the inflated demand still selects a lower
@@ -149,7 +170,17 @@ func (c *Controller) reselect() (sa1100.OperatingPoint, bool) {
 	if op == c.current {
 		return c.current, false
 	}
+	prev := c.current
 	c.current = op
 	c.Reconfigurations++
+	c.cReselect.Inc()
+	if c.tr != nil {
+		c.tr.Emit(obs.Event{
+			Kind:    "op_select",
+			FromMHz: prev.FrequencyMHz,
+			ToMHz:   op.FrequencyMHz,
+			ReqMHz:  req,
+		})
+	}
 	return op, true
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"smartbadge/internal/changepoint"
+	"smartbadge/internal/obs"
 )
 
 // Estimator tracks one event rate (arrivals or decodes) on-line.
@@ -156,6 +157,10 @@ func NewChangePoint(det *changepoint.Detector) *ChangePoint {
 	}
 	return &ChangePoint{det: det}
 }
+
+// Instrument attaches observability to the underlying detector; label names
+// the stream in metrics and trace events (e.g. "arrival", "service").
+func (e *ChangePoint) Instrument(o *obs.Obs, label string) { e.det.Instrument(o, label) }
 
 // Observe implements Estimator.
 func (e *ChangePoint) Observe(sample, _ float64) (float64, bool) {

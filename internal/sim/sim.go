@@ -15,6 +15,7 @@ import (
 
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
+	"smartbadge/internal/obs"
 	"smartbadge/internal/perfmodel"
 	"smartbadge/internal/policy"
 	"smartbadge/internal/queue"
@@ -91,6 +92,12 @@ type Config struct {
 	// RecordTimeline retains the mode timeline in Result.Timeline
 	// (see FormatTimeline). Off by default: long runs produce many spans.
 	RecordTimeline bool
+	// Obs attaches the observability layer: when non-nil, the simulator
+	// streams structured events (arrivals, decodes, operating-point changes,
+	// sleep/wake transitions, per-mode energy) to Obs.Trace and publishes the
+	// run's metrics to Obs.Metrics at the end of Run. nil is a zero-overhead
+	// fast path: results are bit-identical with and without observability.
+	Obs *obs.Obs
 	// QueuePolicy, when non-nil, overrides the rate-based controller's
 	// operating-point choice at every decode start with a function of the
 	// buffer occupancy — the interface the queue-aware MDP policy
@@ -267,6 +274,16 @@ type Simulator struct {
 	wlanIdx, sramIdx, dramIdx int
 	wlanRxE                   float64
 	sramCoef, dramCoef        float64
+
+	// Observability (all nil/empty when Config.Obs is nil — the fast path).
+	// tr is the event tracer; lastEnergy snapshots energyComp at the last
+	// energy event so per-mode deltas can be emitted. mDelay is the frame
+	// delay histogram handle (nil-safe), opResidency accumulates decode time
+	// per operating-point frequency for the residency metrics.
+	tr          *obs.Tracer
+	lastEnergy  []float64
+	mDelay      *obs.Histogram
+	opResidency map[float64]float64
 }
 
 // New validates the configuration and returns a ready simulator.
@@ -319,7 +336,51 @@ func New(cfg Config) (*Simulator, error) {
 			s.dramCoef = (c.Power(device.Active) - c.Power(device.Idle)) * perfmodel.MPEGCurve().MemFraction
 		}
 	}
+	if cfg.Obs != nil {
+		if s.tr = cfg.Obs.Tracer(); s.tr != nil {
+			s.tr.SetClock(func() float64 { return s.now })
+			s.lastEnergy = make([]float64, len(s.badge))
+		}
+		if reg := cfg.Obs.Registry(); reg != nil {
+			s.mDelay = reg.Histogram("sim.frame_delay_s", delayBuckets)
+			s.opResidency = make(map[float64]float64, 8)
+		}
+	}
 	return s, nil
+}
+
+// delayBuckets spans the paper's delay targets (0.1 s video, 0.15 s audio)
+// with resolution on both sides of the constraint.
+var delayBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1, 2, 5}
+
+// setMode switches the operating mode, flushing the per-component energy
+// accrued in the outgoing mode to the tracer first so every trace segment is
+// attributed to the mode it was spent in. Callers must chargeTo the switch
+// time before calling. With no tracer this is a plain assignment.
+func (s *Simulator) setMode(m Mode) {
+	if s.tr != nil && m != s.mode {
+		s.emitEnergy()
+	}
+	s.mode = m
+}
+
+// emitEnergy emits one "energy" event carrying the per-component joules
+// accrued since the previous energy event, labelled with the current mode.
+// The sum of these deltas over a whole trace equals Result.EnergyByComponent.
+func (s *Simulator) emitEnergy() {
+	var deltas map[string]float64
+	for i, e := range s.energyComp {
+		if d := e - s.lastEnergy[i]; d != 0 {
+			if deltas == nil {
+				deltas = make(map[string]float64, len(s.badge))
+			}
+			deltas[s.badge[i].Name] = d
+			s.lastEnergy[i] = e
+		}
+	}
+	if deltas != nil {
+		s.tr.Emit(obs.Event{T: s.now, Kind: "energy", Mode: s.mode.String(), Energy: deltas})
+	}
 }
 
 // componentPower returns the component's draw in the current mode.
@@ -414,6 +475,9 @@ func (s *Simulator) chargeTo(t float64) {
 		s.res.QueueLen.Add(float64(s.buffer.Len()), dt)
 		if s.mode == ModeDecode {
 			s.res.FreqTime.Add(s.appliedOp.FrequencyMHz, dt)
+			if s.opResidency != nil {
+				s.opResidency[s.appliedOp.FrequencyMHz] += dt
+			}
 		}
 	}
 	s.now = t
@@ -452,6 +516,10 @@ func (s *Simulator) startDecodeIfPossible() {
 	}
 	extra := 0.0
 	if target != s.appliedOp {
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{T: s.now, Kind: "op_change",
+				FromMHz: s.appliedOp.FrequencyMHz, ToMHz: target.FrequencyMHz})
+		}
 		s.appliedOp = target
 		s.powerOK[ModeDecode] = false
 		s.powerOK[ModeWake] = false
@@ -462,15 +530,22 @@ func (s *Simulator) startDecodeIfPossible() {
 	if perf <= 0 {
 		panic("sim: zero performance at selected operating point")
 	}
-	s.mode = ModeDecode
+	s.setMode(ModeDecode)
 	s.decoding = true
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{T: s.now, Kind: "decode_start", Frame: f.Seq + 1,
+			Queue: s.buffer.Len(), ToMHz: s.appliedOp.FrequencyMHz})
+	}
 	s.push(event{time: s.now + extra + f.Work/perf, kind: evDecodeDone, frame: f.Seq})
 }
 
 // enterIdle handles the transition into the idle state: the paper's single
 // DPM decision point.
 func (s *Simulator) enterIdle() {
-	s.mode = ModeAwakeIdle
+	s.setMode(ModeAwakeIdle)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{T: s.now, Kind: "idle_enter", Queue: s.buffer.Len()})
+	}
 	s.idleSince = s.now
 	s.epoch++
 	next := s.peekNextArrivalTime()
@@ -526,19 +601,31 @@ func (s *Simulator) Run() (*Result, error) {
 				continue // stale: activity resumed before the timeout
 			}
 			s.chargeTo(e.time)
-			s.mode = ModeSleep
+			s.setMode(ModeSleep)
 			s.setSleepState(e.target)
 			s.res.Sleeps++
+			if s.tr != nil {
+				s.tr.Emit(obs.Event{T: s.now, Kind: "sleep", Target: e.target.String()})
+			}
 		case evDeepenTimer:
 			if e.epoch != s.epoch || s.mode != ModeSleep {
 				continue // stale: the badge woke (or never slept)
 			}
 			s.chargeTo(e.time)
+			if s.tr != nil {
+				// The sleep-state power changes here: flush the energy accrued
+				// in the shallower state before deepening.
+				s.emitEnergy()
+				s.tr.Emit(obs.Event{T: s.now, Kind: "deepen", Target: e.target.String()})
+			}
 			s.setSleepState(e.target)
 			s.res.Deepens++
 		case evWakeDone:
 			s.chargeTo(e.time)
-			s.mode = ModeAwakeIdle
+			s.setMode(ModeAwakeIdle)
+			if s.tr != nil {
+				s.tr.Emit(obs.Event{T: s.now, Kind: "wake_done", Queue: s.buffer.Len()})
+			}
 			s.startDecodeIfPossible()
 		}
 	}
@@ -557,7 +644,46 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, fmt.Errorf("sim: decoded %d + dropped %d of %d frames",
 			s.res.FramesDecoded, s.res.FramesDropped, len(frames))
 	}
+	if s.tr != nil {
+		s.emitEnergy() // flush the final mode's residue
+		s.tr.Emit(obs.Event{T: s.now, Kind: "run_end", Value: s.res.EnergyJ})
+	}
+	s.publishMetrics()
 	return &s.res, nil
+}
+
+// publishMetrics materialises the run's headline numbers into the metrics
+// registry: the quantities the paper's tables report (per-component energy,
+// per-mode time and energy, QoS counters) plus operating-point residency.
+// Called once at the end of Run; no-op without a registry.
+func (s *Simulator) publishMetrics() {
+	reg := s.cfg.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("sim.frames_decoded").Add(float64(s.res.FramesDecoded))
+	reg.Counter("sim.frames_dropped").Add(float64(s.res.FramesDropped))
+	reg.Counter("sim.reconfigurations").Add(float64(s.res.Reconfigurations))
+	reg.Counter("sim.sleeps").Add(float64(s.res.Sleeps))
+	reg.Counter("sim.deepens").Add(float64(s.res.Deepens))
+	reg.Counter("sim.delay_over_target").Add(float64(s.res.DelayOverTarget))
+	reg.Counter("sim.delay_over_2x_target").Add(float64(s.res.DelayOver2xTarget))
+	reg.Gauge("sim.energy_total_j").Set(s.res.EnergyJ)
+	reg.Gauge("sim.sim_time_s").Set(s.res.SimTime)
+	reg.Gauge("sim.avg_power_w").Set(s.res.AvgPowerW)
+	reg.Gauge("sim.mean_queue_len").Set(s.res.QueueLen.Mean())
+	reg.Gauge("sim.peak_queue_len").Set(float64(s.res.PeakQueue))
+	reg.Gauge("sim.mean_decode_mhz").Set(s.res.FreqTime.Mean())
+	for i, c := range s.badge {
+		reg.Gauge("sim.energy_j." + c.Name).Set(s.energyComp[i])
+	}
+	for m := ModeDecode; m < numModes; m++ {
+		reg.Gauge("sim.time_in_mode_s." + m.String()).Set(s.res.TimeInMode[m])
+		reg.Gauge("sim.energy_by_mode_j." + m.String()).Set(s.res.EnergyByMode[m])
+	}
+	for mhz, dt := range s.opResidency {
+		reg.Gauge(fmt.Sprintf("sim.op_residency_s.%gmhz", mhz)).Set(dt)
+	}
 }
 
 // setSleepState updates the low-power state, invalidating the sleep-mode
@@ -607,8 +733,14 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 		// received it; only the payload drops. The arrival still counts as
 		// activity, so a sleeping device wakes below.
 		s.res.FramesDropped++
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{T: s.now, Kind: "drop", Frame: f.Seq + 1, Queue: s.buffer.Len()})
+		}
 	} else {
 		s.buffer.Push(queue.Frame{Seq: f.Seq, ArrivalTime: f.Arrival, Work: f.Work, ClipID: f.ClipIndex})
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{T: s.now, Kind: "arrival", Frame: f.Seq + 1, Queue: s.buffer.Len()})
+		}
 	}
 
 	switch s.mode {
@@ -617,7 +749,11 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 		s.cfg.DPM.ObserveIdle(s.now - s.idleSince)
 		s.epoch++
 		wake := s.cfg.Badge.WakeLatency(s.sleepState)
-		s.mode = ModeWake
+		slept := s.sleepState
+		s.setMode(ModeWake)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{T: s.now, Kind: "wake", Target: slept.String(), DelayS: wake})
+		}
 		s.push(event{time: s.now + wake, kind: evWakeDone})
 	case ModeAwakeIdle:
 		if !s.decoding {
@@ -639,6 +775,11 @@ func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
 	s.res.FramesDecoded++
 	delay := s.now - done.ArrivalTime
 	s.res.FrameDelay.Add(delay)
+	s.mDelay.Observe(delay)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{T: s.now, Kind: "decode_done", Frame: f.Seq + 1,
+			Queue: s.buffer.Len(), DelayS: delay})
+	}
 	if target := s.cfg.Controller.TargetDelay; delay > target {
 		s.res.DelayOverTarget++
 		if delay > 2*target {
@@ -666,7 +807,7 @@ func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
 		s.enterIdle()
 		return
 	}
-	s.mode = ModeAwakeIdle
+	s.setMode(ModeAwakeIdle)
 	s.startDecodeIfPossible()
 }
 

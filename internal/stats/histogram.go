@@ -53,6 +53,15 @@ func (h *Histogram) Add(x float64) {
 // Count returns the number of observations (including under/overflow).
 func (h *Histogram) Count() int64 { return h.n }
 
+// UnderflowCount returns the number of observations below the range: samples
+// that were recorded but not binned. Consumers reading quantiles should check
+// that clipping does not overlap the quantile they care about.
+func (h *Histogram) UnderflowCount() int64 { return h.under }
+
+// OverflowCount returns the number of observations at or above the top of the
+// range (see UnderflowCount).
+func (h *Histogram) OverflowCount() int64 { return h.over }
+
 // Mean returns the exact sample mean of all observations.
 func (h *Histogram) Mean() float64 { return h.momExact.Mean() }
 

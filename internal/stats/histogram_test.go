@@ -153,3 +153,25 @@ func TestKSDistanceZeroSample(t *testing.T) {
 		t.Errorf("empty-sample KS = %v, want 0", d)
 	}
 }
+
+// TestHistogramClippingAccessors pins the under/overflow counters that let
+// quantile consumers detect silent clipping.
+func TestHistogramClippingAccessors(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h.UnderflowCount() != 0 || h.OverflowCount() != 0 {
+		t.Fatal("fresh histogram reports clipped samples")
+	}
+	for _, x := range []float64{-1, -2, 5, 10, 11} {
+		h.Add(x)
+	}
+	if got := h.UnderflowCount(); got != 2 {
+		t.Errorf("underflow = %d, want 2", got)
+	}
+	// 10 is at the top edge of [0, 10) and counts as overflow.
+	if got := h.OverflowCount(); got != 2 {
+		t.Errorf("overflow = %d, want 2", got)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5 (clipped samples still counted)", got)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"testing"
+)
+
+// naiveWindow is the reference model for Window: a plain slice trimmed to
+// capacity, with every query recomputed from scratch.
+type naiveWindow struct {
+	cap    int
+	values []float64
+}
+
+func (n *naiveWindow) push(x float64) (float64, bool) {
+	n.values = append(n.values, x)
+	if len(n.values) > n.cap {
+		evicted := n.values[0]
+		n.values = n.values[1:]
+		return evicted, true
+	}
+	return 0, false
+}
+
+func (n *naiveWindow) suffixSum(k int) float64 {
+	s := 0.0
+	for _, v := range n.values[len(n.values)-k:] {
+		s += v
+	}
+	return s
+}
+
+// TestWindowMatchesNaiveModel drives Window and the slice model through the
+// same long interleaved Push/Reset sequence — past capacity many times over —
+// and checks every accessor against the model after each operation. Samples
+// are exact binary fractions so even the running Sum must match bit for bit.
+func TestWindowMatchesNaiveModel(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 7, 16} {
+		rng := NewRNG(uint64(1000 + capacity)) // distinct seed per capacity
+		w := NewWindow(capacity)
+		model := &naiveWindow{cap: capacity}
+		const ops = 5000
+		for op := 0; op < ops; op++ {
+			// Occasionally reset, as the detector does after a detection.
+			if rng.Intn(97) == 0 {
+				w.Reset()
+				model.values = model.values[:0]
+			} else {
+				x := float64(rng.Intn(4096)) / 64
+				gotEv, gotFull := w.Push(x)
+				wantEv, wantFull := model.push(x)
+				if gotEv != wantEv || gotFull != wantFull {
+					t.Fatalf("cap %d op %d: Push -> (%v,%v), model (%v,%v)",
+						capacity, op, gotEv, gotFull, wantEv, wantFull)
+				}
+			}
+			if w.Len() != len(model.values) {
+				t.Fatalf("cap %d op %d: Len %d, model %d", capacity, op, w.Len(), len(model.values))
+			}
+			if w.Full() != (len(model.values) == capacity) {
+				t.Fatalf("cap %d op %d: Full %v, model %v", capacity, op, w.Full(), len(model.values) == capacity)
+			}
+			if w.Cap() != capacity {
+				t.Fatalf("cap %d op %d: Cap %d", capacity, op, w.Cap())
+			}
+			// Samples are exact binary fractions: the running sum must agree
+			// exactly with the recomputed one.
+			wantSum := model.suffixSum(len(model.values))
+			if w.Sum() != wantSum {
+				t.Fatalf("cap %d op %d: Sum %v, model %v", capacity, op, w.Sum(), wantSum)
+			}
+			vals := w.Values()
+			if len(vals) != len(model.values) {
+				t.Fatalf("cap %d op %d: Values len %d, model %d", capacity, op, len(vals), len(model.values))
+			}
+			for i, v := range model.values {
+				if vals[i] != v {
+					t.Fatalf("cap %d op %d: Values[%d] = %v, model %v", capacity, op, i, vals[i], v)
+				}
+				if got := w.At(i); got != v {
+					t.Fatalf("cap %d op %d: At(%d) = %v, model %v", capacity, op, i, got, v)
+				}
+			}
+			for n := 0; n <= len(model.values); n++ {
+				if got, want := w.SuffixSum(n), model.suffixSum(n); got != want {
+					t.Fatalf("cap %d op %d: SuffixSum(%d) = %v, model %v", capacity, op, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowPanicsStayPanics pins the out-of-range contracts the detector
+// relies on.
+func TestWindowOutOfRangePanics(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(1)
+	for _, fn := range []func(){
+		func() { w.At(-1) },
+		func() { w.At(1) },
+		func() { w.SuffixSum(-1) },
+		func() { w.SuffixSum(2) },
+		func() { NewWindow(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
 	"smartbadge/internal/experiments"
+	"smartbadge/internal/obs"
 	"smartbadge/internal/sim"
 	"smartbadge/internal/stats"
 	"smartbadge/internal/tismdp"
@@ -231,7 +232,33 @@ type Options struct {
 	// hook for real measurements. See internal/device.LoadBadge for the
 	// format.
 	BadgeConfig io.Reader
+	// Obs, when non-nil, attaches metrics and/or event tracing to the run:
+	// the controller, detectors, DPM policy and simulator all report into it.
+	// nil (the default) is the zero-overhead path — results are bit-identical
+	// with and without it.
+	Obs *Observability
 }
+
+// Observability bundles an optional metrics registry and event tracer.
+type Observability = obs.Obs
+
+// MetricsRegistry accumulates counters, gauges and histograms during a run;
+// snapshot it with WriteJSON after Run returns.
+type MetricsRegistry = obs.Registry
+
+// EventTracer streams structured JSONL events (arrivals, decodes,
+// operating-point changes, sleep/wake transitions, detections, energy
+// deltas) to a writer; call Flush after Run returns.
+type EventTracer = obs.Tracer
+
+// TraceEvent is one JSONL trace line (see internal/obs for the kind set).
+type TraceEvent = obs.Event
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventTracer returns a tracer writing JSONL to w.
+func NewEventTracer(w io.Writer) *EventTracer { return obs.NewTracer(w) }
 
 // Run simulates the workload under the chosen policies and returns the
 // energy/performance report.
@@ -267,7 +294,7 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return experiments.RunPolicyWith(kind, app, opts.Trace, pol, func(cfg *sim.Config) {
+	return experiments.RunPolicyObs(kind, app, opts.Trace, pol, opts.Obs, func(cfg *sim.Config) {
 		cfg.Badge = badge
 		cfg.BufferCap = opts.BufferCap
 		cfg.RecordTimeline = opts.RecordTimeline
