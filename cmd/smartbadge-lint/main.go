@@ -1,0 +1,59 @@
+// Command smartbadge-lint is the project's static-analysis gate: it runs the
+// determinism, RNG-sharing, unit-safety and observability-discipline
+// analyzers (see internal/analysis and DESIGN.md "Invariants enforced by
+// static analysis") over the given packages and exits non-zero on any
+// finding.
+//
+// Usage:
+//
+//	go run ./cmd/smartbadge-lint ./...
+//
+// Findings can be suppressed, with a mandatory recorded reason, by placing
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"smartbadge/internal/analysis"
+	"smartbadge/internal/analysis/detcheck"
+	"smartbadge/internal/analysis/obscheck"
+	"smartbadge/internal/analysis/rngshare"
+	"smartbadge/internal/analysis/unitcheck"
+)
+
+// Analyzers is the project suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	detcheck.Analyzer,
+	rngshare.Analyzer,
+	unitcheck.Analyzer,
+	obscheck.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartbadge-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartbadge-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smartbadge-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the module,
+// so `go test ./...` enforces the same invariants CI's dedicated lint step
+// does. A finding here means a determinism, unit-safety or obs-discipline
+// regression (or a missing //lint:allow with its recorded reason).
+func TestRepositoryIsLintClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, Analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"smartbadge/internal/experiments"
 	"smartbadge/internal/obs"
 	"smartbadge/internal/prof"
+	"smartbadge/internal/units"
 )
 
 func main() {
@@ -71,7 +72,7 @@ func run(w io.Writer, what string, seed uint64, probsFlag string, workers int, m
 					Kind:   "sweep_point",
 					Comp:   p.Label,
 					Value:  p.CPUPowerW,
-					DelayS: p.MeanDelayMS / 1000,
+					DelayS: units.MSToS(p.MeanDelayMS),
 					Detail: fmt.Sprintf("switches=%d", p.Switches),
 				})
 			}

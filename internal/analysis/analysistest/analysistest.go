@@ -1,0 +1,130 @@
+// Package analysistest runs an analyzer over a golden package and compares
+// its diagnostics against expectations embedded in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := rand.Intn(3) // want `math/rand`
+//
+// A "// want" comment holds one or more quoted regular expressions (double
+// quotes or backquotes), each of which must match a distinct diagnostic
+// reported on that line; diagnostics with no matching want, and wants with
+// no matching diagnostic, fail the test. //lint:allow suppression runs
+// before matching, so golden packages can also prove the escape hatch
+// works: a suppressed violation simply carries no want comment.
+//
+// Golden packages live under testdata/ (invisible to go build) and are
+// type-checked against the real module and standard library, so they can
+// import smartbadge/internal/stats, internal/parallel, internal/obs, etc.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smartbadge/internal/analysis"
+)
+
+// wantRe extracts the expectation list from a comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads dir as a single package whose import path is
+// "testdata/<base(dir)>" — so analyzers that switch on the final path
+// element see the directory name — applies the analyzer, and reports any
+// mismatch against the package's want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	base := dir[strings.LastIndexAny(dir, `/\`)+1:]
+	pkg, err := analysis.LoadFiles(dir, "testdata/"+base)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWants(m[1])
+				if err != nil {
+					t.Fatalf("%s: %v", pos, err)
+				}
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWants parses a sequence of quoted regexps.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		var quoted string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in want: %s", s)
+			}
+			quoted = s[1 : 1+end]
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in want: %s", s)
+			}
+			var err error
+			quoted, err = strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %v", s[:end+2], err)
+			}
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want expectations must be quoted: %s", s)
+		}
+		re, err := regexp.Compile(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", quoted, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

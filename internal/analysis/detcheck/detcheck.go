@@ -1,0 +1,162 @@
+// Package detcheck enforces the repository's determinism contract inside
+// the packages whose outputs must be bit-identical for a fixed seed and any
+// worker count: no wall-clock reads, no ambient math/rand, and no map
+// iteration that feeds computation without a sorted key pass first.
+//
+// The contract exists because the parallel Monte Carlo engine (PR 1)
+// guarantees results independent of goroutine scheduling, and the paper's
+// tables are regenerated from seeds; a single time.Now or map-ordered
+// accumulation silently voids both.
+package detcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smartbadge/internal/analysis"
+)
+
+// DeterministicPkgs names the packages (by final import-path element) whose
+// non-test code must be reproducible for a fixed seed. obs is included: its
+// instruments and traces feed diffable artifacts, and its two intentional
+// wall-clock sites carry //lint:allow directives.
+var DeterministicPkgs = map[string]bool{
+	"sim": true, "stats": true, "parallel": true, "changepoint": true,
+	"policy": true, "dpm": true, "tismdp": true, "markov": true,
+	"mdp": true, "queue": true, "workload": true, "obs": true,
+}
+
+// forbiddenTimeFuncs are the wall-clock and timer entry points of package
+// time that make results depend on when (or how fast) the process runs.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// Analyzer is the detcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "detcheck",
+	Doc:  "forbid wall-clock reads, ambient math/rand, and unsorted map iteration in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	parts := strings.Split(pass.Pkg.Path(), "/")
+	if !DeterministicPkgs[parts[len(parts)-1]] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgPathOf resolves expr to the import path of the package it names, or ""
+// when expr is not a package qualifier.
+func pkgPathOf(pass *analysis.Pass, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	switch pkgPathOf(pass, sel.X) {
+	case "time":
+		if forbiddenTimeFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; deterministic packages must derive time from the simulation clock or take it as input",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(sel.Pos(),
+			"math/rand (global or locally seeded) is banned in deterministic packages; use the seeded, splittable stats.RNG")
+	}
+}
+
+// checkMapRange flags iteration over a map unless every statement in the
+// body is order-insensitive: collecting keys for a later sort, writing into
+// another map/slice by key, deleting entries, or defining loop-local values.
+// Anything else (accumulation into outer state, emitting output) depends on
+// Go's randomised map order.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	for _, stmt := range rng.Body.List {
+		if !orderInsensitiveStmt(stmt) {
+			pass.Reportf(rng.Pos(),
+				"map iteration order is randomised; this loop feeds computation or output — collect the keys, sort them, and iterate the sorted slice")
+			return
+		}
+	}
+}
+
+func orderInsensitiveStmt(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return true // loop-local definition
+		}
+		if isSelfAppend(s) {
+			return true // key collection for a later sort
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.IndexExpr); !ok {
+				return false
+			}
+		}
+		return true // element writes keyed by the iteration variable
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "delete"
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	}
+	return false
+}
+
+// isSelfAppend reports whether s has the shape `x = append(x, ...)`: the
+// canonical collect-then-sort key harvest.
+func isSelfAppend(s *ast.AssignStmt) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && first.Name == lhs.Name
+}

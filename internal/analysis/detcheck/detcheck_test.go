@@ -1,0 +1,16 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/detcheck"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/sim", detcheck.Analyzer)
+}
+
+func TestNonDeterministicPackageIgnored(t *testing.T) {
+	analysistest.Run(t, "testdata/freepkg", detcheck.Analyzer)
+}

@@ -1,0 +1,20 @@
+// Package freepkg is detcheck's negative golden package: its import path
+// does not name a deterministic package, so nothing here is reported.
+package freepkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(6) }
+
+func mapAccumulate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

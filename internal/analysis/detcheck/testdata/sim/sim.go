@@ -1,0 +1,73 @@
+// Package sim is detcheck's positive golden package: its import path ends
+// in "sim", one of the deterministic packages, so every banned construct
+// below must be reported — and the //lint:allow case must not be.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() (time.Time, time.Duration) {
+	start := time.Now()    // want `time\.Now reads the wall clock`
+	d := time.Since(start) // want `time\.Since reads the wall clock`
+	_ = time.After(d)      // want `time\.After reads the wall clock`
+	return start, d
+}
+
+func allowedWallClock() time.Time {
+	//lint:allow detcheck golden case for the escape hatch
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `math/rand`
+}
+
+func locallySeededRand() float64 {
+	r := rand.New(rand.NewSource(1)) // want `math/rand` `math/rand`
+	return r.Float64()
+}
+
+func mapAccumulate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `map iteration order is randomised`
+		sum += v
+	}
+	return sum
+}
+
+func mapSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func mapReindex(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func mapClear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func allowedMapRange(m map[string]int) int {
+	n := 0
+	//lint:allow detcheck counting is order-insensitive; golden case
+	for range m {
+		n++
+	}
+	return n
+}

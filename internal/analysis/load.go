@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the JSON
+// package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds a types.Importer that resolves dependency packages
+// from compiler export data produced by `go list -export`.
+func exportLookup(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// newTypesInfo allocates the types.Info maps the analyzers rely on.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load resolves the given package patterns (e.g. "./...") relative to dir,
+// parses each matched package's non-test Go files, and type-checks them
+// against export data for their dependencies. Everything runs offline
+// through the go command; no third-party loader is involved.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,Module"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	byPath := make(map[string]listedPackage, len(deps))
+	for _, p := range deps {
+		exports[p.ImportPath] = p.Export
+		byPath[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := exportLookup(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		p, ok := byPath[t.ImportPath]
+		if !ok {
+			return nil, fmt.Errorf("package %s matched but missing from -deps listing", t.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath:   p.ImportPath,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// LoadFiles parses the Go files in dir as one package (no build-system
+// involvement; testdata directories are invisible to `go list`) and
+// type-checks them against export data for whatever they import. pkgPath
+// becomes the checked package's import path, so analyzers that switch on
+// the package path see the caller's choice. Used by analysistest.
+func LoadFiles(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", e.Name(), err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			importSet[importPathOf(spec)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		args := []string{"-deps", "-export", "-json=ImportPath,Export"}
+		for path := range importSet {
+			args = append(args, path)
+		}
+		deps, err := goList(dir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range deps {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: exportLookup(fset, exports)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	return s[1 : len(s)-1]
+}

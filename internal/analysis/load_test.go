@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// moduleRoot works because the test binary runs in the package directory.
+const moduleRoot = "../.."
+
+func TestLoadTypeChecksAgainstExportData(t *testing.T) {
+	pkgs, err := Load(moduleRoot, "./internal/sim")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "smartbadge/internal/sim" {
+		t.Fatalf("PkgPath = %q", p.PkgPath)
+	}
+	if p.Types == nil || !p.Types.Complete() {
+		t.Fatalf("package not fully type-checked")
+	}
+	// Cross-package type resolution must work: sim.Config embeds types from
+	// device, workload, obs etc. via export data.
+	obj := p.Types.Scope().Lookup("Config")
+	if obj == nil {
+		t.Fatalf("sim.Config not found in package scope")
+	}
+	if len(p.TypesInfo.Uses) == 0 || len(p.TypesInfo.Selections) == 0 {
+		t.Fatalf("type info not populated: %d uses, %d selections",
+			len(p.TypesInfo.Uses), len(p.TypesInfo.Selections))
+	}
+}
+
+func TestRunSuppression(t *testing.T) {
+	pkgs, err := Load(moduleRoot, "./internal/prof")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fire := &Analyzer{
+		Name: "firstline",
+		Doc:  "reports the first file's package clause; used to test plumbing",
+		Run: func(p *Pass) error {
+			p.Reportf(p.Files[0].Package, "package clause of %s", p.Pkg.Path())
+			return nil
+		},
+	}
+	diags, err := Run(pkgs, []*Analyzer{fire})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "firstline" || diags[0].Pos == (token.Position{}) {
+		t.Fatalf("unexpected diagnostic %+v", diags[0])
+	}
+}

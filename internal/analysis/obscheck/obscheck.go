@@ -1,0 +1,118 @@
+// Package obscheck enforces the observability layer's two discipline rules
+// outside internal/obs itself:
+//
+//  1. obs struct fields are never read directly — always through the
+//     nil-safe accessor methods (Obs.Registry(), Obs.Tracer(), Counter.Value()
+//     ...). Direct reads bypass the nil checks that make the disabled path
+//     free and crash-proof; writes are allowed because wiring an Obs up
+//     (o.Metrics = reg) is construction, not instrumentation.
+//  2. Instrument handles are resolved once, not in loops: calling
+//     Registry.Counter/Gauge/Histogram/Timer inside a loop body re-does the
+//     map lookup per iteration, exactly what the handle-caching design
+//     exists to avoid. End-of-run publication loops carry //lint:allow.
+package obscheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smartbadge/internal/analysis"
+)
+
+// Analyzer is the obscheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "obscheck",
+	Doc:  "require nil-safe access to obs handles and hoist instrument construction out of loops",
+	Run:  run,
+}
+
+// constructors are the Registry methods that resolve (and lazily register)
+// an instrument handle.
+var constructors = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Timer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkFieldReads(pass, f)
+		checkLoopConstruction(pass, f)
+	}
+	return nil
+}
+
+// checkFieldReads flags selector expressions that read a field of a struct
+// defined in internal/obs. Assignment targets are exempt.
+func checkFieldReads(pass *analysis.Pass, f *ast.File) {
+	assigned := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				assigned[lhs] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || assigned[sel] {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field := selection.Obj()
+		if field.Pkg() == nil || !strings.HasSuffix(field.Pkg().Path(), "internal/obs") {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"direct read of obs field %s bypasses the nil-safe accessors; use the accessor method instead",
+			field.Name())
+		return true
+	})
+}
+
+// checkLoopConstruction flags instrument-handle resolution inside for/range
+// bodies.
+func checkLoopConstruction(pass *analysis.Pass, f *ast.File) {
+	var inspectBody func(n ast.Node) bool
+	inspectBody = func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !constructors[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"obs.Registry.%s called inside a loop re-resolves the handle every iteration; hoist the lookup out of the loop",
+				sel.Sel.Name)
+			return true
+		})
+		return true
+	}
+	ast.Inspect(f, inspectBody)
+}

@@ -1,0 +1,12 @@
+package obscheck_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/obscheck"
+)
+
+func TestObsDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/obsuse", obscheck.Analyzer)
+}

@@ -1,0 +1,47 @@
+// Package obsuse is obscheck's golden package: obs handles are read only
+// through nil-safe accessors, and instrument handles are resolved outside
+// loops.
+package obsuse
+
+import "smartbadge/internal/obs"
+
+// wire constructs and assigns obs fields: writes are allowed.
+func wire(reg *obs.Registry, tr *obs.Tracer) *obs.Obs {
+	o := &obs.Obs{Metrics: reg, Trace: tr}
+	o.Metrics = reg
+	return o
+}
+
+func directRead(o *obs.Obs) *obs.Registry {
+	return o.Metrics // want `direct read of obs field Metrics`
+}
+
+func accessorRead(o *obs.Obs) (*obs.Registry, *obs.Tracer) {
+	return o.Registry(), o.Tracer()
+}
+
+func inLoop(reg *obs.Registry, xs []float64) {
+	for _, x := range xs {
+		reg.Counter("samples").Add(x) // want `called inside a loop`
+	}
+	for i := 0; i < len(xs); i++ {
+		reg.Histogram("dist", []float64{1, 10}).Observe(xs[i]) // want `called inside a loop`
+	}
+}
+
+func hoisted(reg *obs.Registry, xs []float64) {
+	c := reg.Counter("samples")
+	h := reg.Histogram("dist", []float64{1, 10})
+	for _, x := range xs {
+		c.Add(x)
+		h.Observe(x)
+	}
+}
+
+// allowedLoop demonstrates the escape hatch for dynamic instrument names.
+func allowedLoop(reg *obs.Registry, names []string) {
+	for _, name := range names {
+		//lint:allow obscheck per-name gauges resolved once at end of run; golden case
+		reg.Gauge(name).Set(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Package rngshare guards the determinism contract of the parallel fan-out
+// layer: a stats.RNG captured by a worker closure handed to
+// internal/parallel must only be used as the receiver of SplitAt, the pure
+// per-index stream derivation. Any other use — drawing samples directly,
+// calling Split (which advances shared state), or passing the generator into
+// a helper — makes results depend on goroutine scheduling, or at best hides
+// the derivation from this analyzer; derive the stream inside the closure
+// and pass the derived generator instead.
+package rngshare
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smartbadge/internal/analysis"
+)
+
+// Analyzer is the rngshare analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngshare",
+	Doc:  "flag stats.RNG values captured by internal/parallel worker closures without a SplitAt derivation",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					checkClosure(pass, fl)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isParallelCall reports whether call invokes a function exported by
+// smartbadge/internal/parallel (ForEach, Map, ...).
+func isParallelCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	case *ast.IndexExpr: // explicit generic instantiation parallel.Map[T]
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/parallel")
+}
+
+// checkClosure flags captured stats.RNG identifiers inside fl that are used
+// as anything other than the receiver of a SplitAt call.
+func checkClosure(pass *analysis.Pass, fl *ast.FuncLit) {
+	// First pass: mark RNG identifiers appearing as x in x.SplitAt(...).
+	splitRecv := make(map[*ast.Ident]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "SplitAt" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			splitRecv[id] = true
+		}
+		return true
+	})
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || splitRecv[id] {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isStatsRNG(obj.Type()) {
+			return true
+		}
+		// Captured means declared outside the closure body.
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"stats.RNG %q is captured by a parallel worker closure; derive a per-index stream with %s.SplitAt(i) instead of sharing or forwarding the generator",
+			id.Name, id.Name)
+		return true
+	})
+}
+
+// isStatsRNG reports whether t is stats.RNG or *stats.RNG.
+func isStatsRNG(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/stats")
+}

@@ -1,0 +1,12 @@
+package rngshare_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/rngshare"
+)
+
+func TestWorkerClosures(t *testing.T) {
+	analysistest.Run(t, "testdata/worker", rngshare.Analyzer)
+}

@@ -1,0 +1,78 @@
+// Package quantities is unitcheck's golden package: identifiers with unit
+// suffixes must not mix units without a named conversion helper.
+package quantities
+
+type row struct {
+	ActiveMW   float64
+	PowerW     float64
+	DelayS     float64
+	DelayMS    float64
+	EnergyJ    float64
+	EnergyKJ   float64
+	FreqMHz    float64
+	LagSeconds float64 // want `spells its unit long-form`
+}
+
+// mwToW is a sanctioned conversion helper: lowercased <from>to<to>.
+func mwToW(mw float64) float64 { return mw / 1000 }
+
+func fill(r row) row {
+	return row{
+		ActiveMW: r.PowerW * 1000, // want `field ActiveMW mixes W and mW`
+		PowerW:   mwToW(r.ActiveMW),
+		DelayS:   r.DelayMS, // want `field DelayS mixes ms and s`
+	}
+}
+
+func add(r row) float64 {
+	return r.EnergyJ + r.EnergyKJ // want `operator \+ mixes J and kJ`
+}
+
+func crossDimension(r row) bool {
+	return r.PowerW > r.DelayS // want `different dimensions`
+}
+
+func needsS(delayS float64) float64 { return delayS }
+
+func callMismatch(r row) float64 {
+	return needsS(r.DelayMS) // want `argument to needsS \(parameter delayS\) mixes ms and s`
+}
+
+func assignMismatch(r row) float64 {
+	var totalW float64
+	totalW = r.ActiveMW // want `assignment mixes mW and W`
+	return totalW
+}
+
+func defineMismatch(r row) float64 {
+	gapMS := r.DelayS // want `assignment mixes s and ms`
+	return gapMS
+}
+
+func longFormParam(pauseSeconds float64) float64 { // want `spells its unit long-form`
+	return pauseSeconds
+}
+
+// sameUnit arithmetic and dimension-changing products are fine.
+func fine(r row) float64 {
+	total := r.EnergyJ + r.EnergyJ
+	power := r.EnergyJ / r.DelayS // division changes dimension: no unit claim
+	_ = r.FreqMHz * r.DelayS
+	return total + power
+}
+
+// initialisms must not read as unit suffixes.
+func initialisms() {
+	var QoS float64
+	var xDVS float64
+	QoS = xDVS
+	_ = QoS
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(r row) float64 {
+	var outW float64
+	//lint:allow unitcheck deliberate raw scale factor; golden case
+	outW = r.ActiveMW / 1000
+	return outW
+}

@@ -1,0 +1,353 @@
+// Package unitcheck enforces the repository's physical-unit naming
+// convention and catches mixed-unit arithmetic, the class of scaling error
+// that corrupts energy-table reproductions (a milliwatt field added to a
+// watt field is off by 1000x and no test that only checks monotonicity will
+// notice).
+//
+// Convention. Identifiers carrying a physical quantity end in a unit
+// suffix: power ...MW / ...W, time ...MS / ...S / ...Sec, energy ...MJ /
+// ...J / ...KJ, frequency ...Hz / ...KHz / ...MHz (MW reads milliwatt and
+// MJ millijoule throughout this repository — the paper's tables are in mW).
+// The analyzer derives a unit for expressions built from such identifiers
+// and reports:
+//
+//   - assignments and struct-literal fields whose two sides carry different
+//     units of the same dimension (ActiveMW: c.PowerW[i] * 1000);
+//   - additive or comparison operators applied across units or dimensions;
+//   - call arguments whose unit contradicts the parameter's suffix;
+//   - struct fields and parameters spelling a unit long-form (DelaySeconds)
+//     instead of with the canonical suffix.
+//
+// Unit conversions are legal only through a named helper whose lowercased
+// name is <from>to<to> (mwToW, units.MSToS, ...): the helper's result takes
+// the target unit, so conversions stay greppable and single-sourced instead
+// of scattered *1000s.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+	"unicode"
+
+	"smartbadge/internal/analysis"
+)
+
+// Analyzer is the unitcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc:  "enforce unit-suffix naming and flag mixed-unit arithmetic, assignments and calls",
+	Run:  run,
+}
+
+// A unit is a canonical physical unit with its dimension.
+type unit struct {
+	name string // canonical spelling, e.g. "mW"
+	dim  string // "power", "time", "energy", "freq"
+}
+
+// suffixes maps identifier suffixes to units, tried longest-first.
+var suffixes = []struct {
+	text string
+	u    unit
+}{
+	{"MHz", unit{"MHz", "freq"}},
+	{"KHz", unit{"kHz", "freq"}},
+	{"Sec", unit{"s", "time"}},
+	{"MW", unit{"mW", "power"}},
+	{"MS", unit{"ms", "time"}},
+	{"MJ", unit{"mJ", "energy"}},
+	{"KJ", unit{"kJ", "energy"}},
+	{"Hz", unit{"Hz", "freq"}},
+	{"W", unit{"W", "power"}},
+	{"S", unit{"s", "time"}},
+	{"J", unit{"J", "energy"}},
+}
+
+// suffixExceptions are identifiers whose apparent unit suffix is not one:
+// initialisms and domain terms.
+var suffixExceptions = map[string]bool{
+	"QoS": true,
+}
+
+// longForms catches fields and parameters that spell the unit out instead
+// of using the canonical suffix.
+var longForms = []struct {
+	text    string
+	canonic string
+}{
+	{"Milliseconds", "MS"},
+	{"Millis", "MS"},
+	{"Seconds", "S"},
+	{"Milliwatts", "MW"},
+	{"Watts", "W"},
+	{"Millijoules", "MJ"},
+	{"Kilojoules", "KJ"},
+	{"Joules", "J"},
+	{"Megahertz", "MHz"},
+	{"Kilohertz", "KHz"},
+	{"Hertz", "Hz"},
+}
+
+// convRe recognises named unit-conversion helpers: lowercased <from>to<to>.
+var convRe = regexp.MustCompile(`^(mhz|khz|sec|mw|ms|mj|kj|hz|w|s|j)to(mhz|khz|sec|mw|ms|mj|kj|hz|w|s|j)$`)
+
+var canonicalByLower = func() map[string]unit {
+	m := make(map[string]unit)
+	for _, s := range suffixes {
+		m[strings.ToLower(s.text)] = s.u
+	}
+	return m
+}()
+
+// unitOfName extracts the unit suffix from an identifier name, or the zero
+// unit. The rune before the suffix must be a lowercase letter or digit so
+// initialisms (GOMAXPROCS, KS, DVS) don't read as units.
+func unitOfName(name string) unit {
+	if suffixExceptions[name] {
+		return unit{}
+	}
+	for _, s := range suffixes {
+		if !strings.HasSuffix(name, s.text) || len(name) <= len(s.text) {
+			continue
+		}
+		prev := rune(name[len(name)-len(s.text)-1])
+		if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+			return s.u
+		}
+	}
+	return unit{}
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.BinaryExpr:
+				c.checkBinary(n)
+			case *ast.CompositeLit:
+				c.checkCompositeLit(n)
+			case *ast.CallExpr:
+				c.checkCallArgs(n)
+			case *ast.StructType:
+				c.checkFieldNames(n.Fields, "struct field")
+			case *ast.FuncDecl:
+				if n.Type.Params != nil {
+					c.checkFieldNames(n.Type.Params, "parameter")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// unitOf derives the unit an expression carries, or the zero unit when no
+// unit can be established. Multiplying or dividing by a bare numeric
+// literal does NOT change the unit — that is exactly the inline conversion
+// the convention bans, so `xMW / 1000` still reads as milliwatts and trips
+// the mismatch check against a ...W destination.
+func (c *checker) unitOf(e ast.Expr) unit {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return c.unitOf(e.X)
+	case *ast.ParenExpr:
+		return c.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return c.unitOf(e.X)
+		}
+	case *ast.CallExpr:
+		return c.unitOfCall(e)
+	case *ast.BinaryExpr:
+		lu, ru := c.unitOf(e.X), c.unitOf(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if lu == ru {
+				return lu
+			}
+		case token.MUL, token.QUO:
+			if lu.dim != "" && ru.dim == "" && isNumericLiteral(e.Y) {
+				return lu
+			}
+			if ru.dim != "" && lu.dim == "" && isNumericLiteral(e.X) {
+				return ru
+			}
+		}
+	}
+	return unit{}
+}
+
+// unitOfCall resolves the unit of a call expression: conversion helpers
+// yield their target unit, numeric type conversions preserve the operand's
+// unit, and everything else has no derivable unit.
+func (c *checker) unitOfCall(call *ast.CallExpr) unit {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return unit{}
+	}
+	if m := convRe.FindStringSubmatch(strings.ToLower(name)); m != nil {
+		return canonicalByLower[m[2]]
+	}
+	// Numeric type conversion float64(xMS) keeps the operand's unit.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+			return c.unitOf(call.Args[0])
+		}
+	}
+	return unit{}
+}
+
+// isNumericLiteral reports whether e is built purely from numeric literals.
+func isNumericLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.ParenExpr:
+		return isNumericLiteral(e.X)
+	case *ast.UnaryExpr:
+		return isNumericLiteral(e.X)
+	case *ast.BinaryExpr:
+		return isNumericLiteral(e.X) && isNumericLiteral(e.Y)
+	}
+	return false
+}
+
+func (c *checker) mismatch(pos token.Pos, context string, a, b unit) {
+	c.pass.Reportf(pos,
+		"%s mixes %s and %s; convert through a named helper (e.g. units.%sTo%s)",
+		context, a.name, b.name,
+		strings.ToUpper(a.name[:1])+a.name[1:], strings.ToUpper(b.name[:1])+b.name[1:])
+}
+
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i := range s.Lhs {
+		var lu unit
+		if s.Tok == token.DEFINE {
+			if id, ok := s.Lhs[i].(*ast.Ident); ok {
+				lu = unitOfName(id.Name)
+			}
+		} else {
+			lu = c.unitOf(s.Lhs[i])
+		}
+		ru := c.unitOf(s.Rhs[i])
+		if lu.dim != "" && ru.dim != "" && lu.dim == ru.dim && lu.name != ru.name {
+			c.mismatch(s.Rhs[i].Pos(), "assignment", ru, lu)
+		}
+	}
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	lu, ru := c.unitOf(e.X), c.unitOf(e.Y)
+	if lu.dim == "" || ru.dim == "" || lu.name == ru.name {
+		return
+	}
+	if lu.dim == ru.dim {
+		c.mismatch(e.OpPos, "operator "+e.Op.String(), lu, ru)
+	} else {
+		c.pass.Reportf(e.OpPos,
+			"operator %s combines %s (%s) with %s (%s); quantities of different dimensions cannot be added or compared",
+			e.Op, lu.name, lu.dim, ru.name, ru.dim)
+	}
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		lu := unitOfName(key.Name)
+		ru := c.unitOf(kv.Value)
+		if lu.dim != "" && ru.dim != "" && lu.dim == ru.dim && lu.name != ru.name {
+			c.mismatch(kv.Value.Pos(), "field "+key.Name, ru, lu)
+		}
+	}
+}
+
+// checkCallArgs compares each argument's unit against the suffix of the
+// callee's parameter name.
+func (c *checker) checkCallArgs(call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() || (sig.Variadic() && i >= params.Len()-1) {
+			break
+		}
+		pu := unitOfName(params.At(i).Name())
+		au := c.unitOf(arg)
+		if pu.dim != "" && au.dim != "" && pu.dim == au.dim && pu.name != au.name {
+			c.mismatch(arg.Pos(), "argument to "+fn.Name()+" (parameter "+params.At(i).Name()+")", au, pu)
+		}
+	}
+}
+
+// checkFieldNames flags long-form unit spellings in field and parameter
+// names.
+func (c *checker) checkFieldNames(fields *ast.FieldList, kind string) {
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			for _, lf := range longForms {
+				if strings.HasSuffix(name.Name, lf.text) && len(name.Name) > len(lf.text) {
+					c.pass.Reportf(name.Pos(),
+						"%s %s spells its unit long-form; use the canonical suffix ...%s",
+						kind, name.Name, lf.canonic)
+					break
+				}
+			}
+		}
+	}
+}

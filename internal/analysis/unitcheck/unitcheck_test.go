@@ -1,0 +1,12 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/unitcheck"
+)
+
+func TestQuantities(t *testing.T) {
+	analysistest.Run(t, "testdata/quantities", unitcheck.Analyzer)
+}

@@ -285,7 +285,7 @@ func characterise(cfg Config, keepHistograms bool) (*Thresholds, map[float64]*st
 	stop := cfg.Obs.Registry().Timer("changepoint.characterise").Start()
 	base := stats.NewRNG(cfg.Seed)
 	hs, err := parallel.Map(cfg.Workers, len(ratios), func(i int) (*stats.Histogram, error) {
-		return characteriseRatio(base, i, ratios[i], cfg)
+		return characteriseRatio(base.SplitAt(uint64(i)), ratios[i], cfg)
 	})
 	stop()
 	if err != nil {
@@ -314,20 +314,22 @@ func characterise(cfg Config, keepHistograms bool) (*Thresholds, map[float64]*st
 }
 
 // characteriseRatio simulates null windows at unit rate and returns the
-// histogram of the statistic for candidate rate = ratio. When the histogram
-// clips near the confidence quantile (extreme statistics landing in the
-// under/overflow bins, which would silently bias the threshold), the span is
-// doubled and the same RNG stream re-simulated — SplitAt is a pure function
-// of (state, index), so every attempt scores the identical sample sequence
-// and widening changes only the binning, never the data. Persistent clipping
-// fails loudly rather than returning a biased threshold.
-func characteriseRatio(base *stats.RNG, idx int, ratio float64, cfg Config) (*stats.Histogram, error) {
+// histogram of the statistic for candidate rate = ratio. rng is this
+// ratio's private stream (the caller derives it with SplitAt, so workers
+// never share generator state). When the histogram clips near the
+// confidence quantile (extreme statistics landing in the under/overflow
+// bins, which would silently bias the threshold), the span is doubled and a
+// Clone of the untouched stream re-simulated — every attempt scores the
+// identical sample sequence and widening changes only the binning, never
+// the data. Persistent clipping fails loudly rather than returning a
+// biased threshold.
+func characteriseRatio(rng *stats.RNG, ratio float64, cfg Config) (*stats.Histogram, error) {
 	// Statistic range: ln P is bounded above by m·|ln ratio| in practice;
 	// histogram over a generous span with fine bins.
 	span := float64(cfg.WindowSize)*math.Abs(math.Log(ratio)) + 10
 	const maxAttempts = 8
 	for attempt := 0; ; attempt++ {
-		h := nullStatisticHistogram(base.SplitAt(uint64(idx)), ratio, cfg, span)
+		h := nullStatisticHistogram(rng.Clone(), ratio, cfg, span)
 		if !quantileClipped(h, cfg.Confidence) {
 			return h, nil
 		}

@@ -64,9 +64,9 @@ func TestCharacteriseRatioWidensSpanWhenClipped(t *testing.T) {
 	}
 
 	// ...while characteriseRatio's automatic widening returns a clean
-	// histogram over the same samples (SplitAt is pure, so the re-simulated
-	// stream is identical).
-	h, err := characteriseRatio(base, 3, 6, cfg)
+	// histogram over the same samples (each attempt re-simulates a Clone of
+	// the derived stream, so the data is identical).
+	h, err := characteriseRatio(base.SplitAt(3), 6, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

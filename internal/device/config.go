@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"smartbadge/internal/units"
 )
 
 // componentConfig is the JSON form of one Table 1 row.
@@ -41,11 +43,11 @@ func LoadBadge(r io.Reader) (*Badge, error) {
 		components = append(components, Component{
 			Name: cc.Name,
 			PowerW: [4]float64{
-				cc.ActiveMW / 1000, cc.IdleMW / 1000,
-				cc.StandbyMW / 1000, cc.OffMW / 1000,
+				units.MWToW(cc.ActiveMW), units.MWToW(cc.IdleMW),
+				units.MWToW(cc.StandbyMW), units.MWToW(cc.OffMW),
 			},
-			WakeFromStandby: cc.TSbyMS / 1000,
-			WakeFromOff:     cc.TOffMS / 1000,
+			WakeFromStandby: units.MSToS(cc.TSbyMS),
+			WakeFromOff:     units.MSToS(cc.TOffMS),
 		})
 	}
 	return NewBadge(components)
@@ -60,12 +62,12 @@ func SaveBadge(w io.Writer, b *Badge) error {
 	for _, c := range b.Components() {
 		cfgs = append(cfgs, componentConfig{
 			Name:      c.Name,
-			ActiveMW:  c.PowerW[Active] * 1000,
-			IdleMW:    c.PowerW[Idle] * 1000,
-			StandbyMW: c.PowerW[Standby] * 1000,
-			OffMW:     c.PowerW[Off] * 1000,
-			TSbyMS:    c.WakeFromStandby * 1000,
-			TOffMS:    c.WakeFromOff * 1000,
+			ActiveMW:  units.WToMW(c.PowerW[Active]),
+			IdleMW:    units.WToMW(c.PowerW[Idle]),
+			StandbyMW: units.WToMW(c.PowerW[Standby]),
+			OffMW:     units.WToMW(c.PowerW[Off]),
+			TSbyMS:    units.SToMS(c.WakeFromStandby),
+			TOffMS:    units.SToMS(c.WakeFromOff),
 		})
 	}
 	enc := json.NewEncoder(w)

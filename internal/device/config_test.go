@@ -27,6 +27,45 @@ func TestBadgeSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadBadgeUnitConversion pins the milliwatt/millisecond JSON schema to
+// the watt/second in-memory model against hand-computed references: the
+// config loader is the one place Table 1's mW scale crosses into the
+// simulator's W scale, and a wrong factor here corrupts every energy number
+// downstream.
+func TestLoadBadgeUnitConversion(t *testing.T) {
+	const in = `[{"name":"x","active_mw":240,"idle_mw":120,
+		"standby_mw":0.5,"off_mw":0,"tsby_ms":10,"toff_ms":100}]`
+	b, err := LoadBadge(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.MustComponent("x")
+	// Hand-computed: 240 mW = 0.240 W, 120 mW = 0.120 W, 0.5 mW = 0.0005 W;
+	// 10 ms = 0.010 s, 100 ms = 0.100 s.
+	wantPower := [4]float64{0.240, 0.120, 0.0005, 0}
+	if c.PowerW != wantPower {
+		t.Errorf("PowerW = %v, want %v", c.PowerW, wantPower)
+	}
+	if c.WakeFromStandby != 0.010 {
+		t.Errorf("WakeFromStandby = %v, want 0.010", c.WakeFromStandby)
+	}
+	if c.WakeFromOff != 0.100 {
+		t.Errorf("WakeFromOff = %v, want 0.100", c.WakeFromOff)
+	}
+
+	// And back out: SaveBadge must reproduce the mW/ms JSON scale.
+	var buf bytes.Buffer
+	if err := SaveBadge(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"active_mw": 240`, `"idle_mw": 120`,
+		`"standby_mw": 0.5`, `"tsby_ms": 10`, `"toff_ms": 100`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("saved JSON missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestLoadBadgeErrors(t *testing.T) {
 	cases := map[string]string{
 		"not json":      "{",

@@ -20,6 +20,8 @@ package device
 import (
 	"fmt"
 	"strings"
+
+	"smartbadge/internal/units"
 )
 
 // PowerState enumerates the four power states of Section 2.1.
@@ -277,11 +279,11 @@ func (b *Badge) Table1() []TableRow {
 	for _, c := range b.components {
 		r := TableRow{
 			Component: c.Name,
-			ActiveMW:  c.PowerW[Active] * 1000,
-			IdleMW:    c.PowerW[Idle] * 1000,
-			StandbyMW: c.PowerW[Standby] * 1000,
-			TSbyMS:    c.WakeFromStandby * 1000,
-			TOffMS:    c.WakeFromOff * 1000,
+			ActiveMW:  units.WToMW(c.PowerW[Active]),
+			IdleMW:    units.WToMW(c.PowerW[Idle]),
+			StandbyMW: units.WToMW(c.PowerW[Standby]),
+			TSbyMS:    units.SToMS(c.WakeFromStandby),
+			TOffMS:    units.SToMS(c.WakeFromOff),
 		}
 		rows = append(rows, r)
 		tot.ActiveMW += r.ActiveMW

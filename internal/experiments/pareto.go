@@ -12,6 +12,7 @@ import (
 	"smartbadge/internal/sa1100"
 	"smartbadge/internal/sim"
 	"smartbadge/internal/stats"
+	"smartbadge/internal/units"
 	"smartbadge/internal/workload"
 )
 
@@ -81,7 +82,7 @@ func ParetoFrontierWorkers(seed uint64, workers int) ([]ParetoPoint, error) {
 		return ParetoPoint{
 			Label:       label,
 			CPUPowerW:   res.EnergyByComponent[device.NameCPU] / res.SimTime,
-			MeanDelayMS: res.FrameDelay.Mean() * 1000,
+			MeanDelayMS: units.SToMS(res.FrameDelay.Mean()),
 			Switches:    res.Reconfigurations,
 		}, nil
 	}

@@ -7,6 +7,7 @@ import (
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
 	"smartbadge/internal/parallel"
+	"smartbadge/internal/units"
 )
 
 // WakeProbPoint is one point of the performance-constrained DPM sweep.
@@ -83,7 +84,7 @@ func WakeProbSweepWorkers(seed uint64, probs []float64, workers int) ([]WakeProb
 		pt := WakeProbPoint{
 			MaxWakeProb: p,
 			TimeoutS:    tau,
-			EnergyKJ:    res.EnergyJ / 1000,
+			EnergyKJ:    units.JToKJ(res.EnergyJ),
 			Sleeps:      res.Sleeps,
 			MeanDelayS:  res.FrameDelay.Mean(),
 		}

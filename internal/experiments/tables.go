@@ -8,6 +8,7 @@ import (
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
 	"smartbadge/internal/stats"
+	"smartbadge/internal/units"
 	"smartbadge/internal/workload"
 )
 
@@ -101,7 +102,7 @@ func Table3(seed uint64) ([]DVSRow, error) {
 			}
 			row.Cells = append(row.Cells, DVSCell{
 				Policy:           p,
-				EnergyKJ:         res.EnergyJ / 1000,
+				EnergyKJ:         units.JToKJ(res.EnergyJ),
 				FrameDelay:       res.FrameDelay.Mean(),
 				Reconfigurations: res.Reconfigurations,
 				MeanFreqMHz:      res.FreqTime.Mean(),
@@ -129,7 +130,7 @@ func Table4(seed uint64) ([]DVSRow, error) {
 			}
 			row.Cells = append(row.Cells, DVSCell{
 				Policy:           p,
-				EnergyKJ:         res.EnergyJ / 1000,
+				EnergyKJ:         units.JToKJ(res.EnergyJ),
 				FrameDelay:       res.FrameDelay.Mean(),
 				Reconfigurations: res.Reconfigurations,
 				MeanFreqMHz:      res.FreqTime.Mean(),
@@ -247,7 +248,7 @@ func Table5(seed uint64) ([]Table5Row, error) {
 		}
 		row := Table5Row{
 			Algorithm:  c.name,
-			EnergyKJ:   res.EnergyJ / 1000,
+			EnergyKJ:   units.JToKJ(res.EnergyJ),
 			Sleeps:     res.Sleeps,
 			FrameDelay: res.FrameDelay.Mean(),
 			IdleFrac:   1 - res.TimeInMode[0]/res.SimTime,

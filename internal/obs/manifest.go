@@ -37,7 +37,8 @@ func NewManifest(tool string, seed uint64, workers int, config map[string]any) M
 		Workers:     workers,
 		GitDescribe: GitDescribe(),
 		GoVersion:   runtime.Version(),
-		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		//lint:allow detcheck the manifest's creation stamp is intentionally wall-clock
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 }
 

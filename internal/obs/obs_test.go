@@ -85,7 +85,7 @@ func TestRegistryInstruments(t *testing.T) {
 	if hs.Min != 0.05 || hs.Max != 100 {
 		t.Fatalf("min/max = %v/%v", hs.Min, hs.Max)
 	}
-	if ts := snap.Timers["phase"]; ts.Count != 1 || ts.TotalSeconds < 0 {
+	if ts := snap.Timers["phase"]; ts.Count != 1 || ts.TotalS < 0 {
 		t.Fatalf("timer snapshot wrong: %+v", ts)
 	}
 

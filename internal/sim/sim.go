@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
@@ -79,12 +80,12 @@ type Config struct {
 	// the paper's exponential arrival model holds only in the active state.
 	// Zero selects the default of 1 second.
 	IdleResetGap float64
-	// WLANRxSeconds is the radio's active receive time per frame. The WLAN's
+	// WLANRxS is the radio's active receive time per frame. The WLAN's
 	// energy follows the *arrival* stream, not the decode schedule: each
 	// frame costs a fixed RX burst and the radio otherwise sits in its idle
 	// (listening) state while the badge is awake, so slowing the CPU down
 	// does not inflate radio energy. Zero selects the default of 4 ms.
-	WLANRxSeconds float64
+	WLANRxS float64
 	// BufferCap bounds the frame buffer (the real SmartBadge has finite
 	// memory for buffered frames). Arrivals to a full buffer are dropped and
 	// counted in Result.FramesDropped. 0 means unbounded.
@@ -303,10 +304,10 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.IdleResetGap < 0 {
 		return nil, fmt.Errorf("sim: negative idle reset gap")
 	}
-	if cfg.WLANRxSeconds == 0 {
-		cfg.WLANRxSeconds = 0.004
+	if cfg.WLANRxS == 0 {
+		cfg.WLANRxS = 0.004
 	}
-	if cfg.WLANRxSeconds < 0 {
+	if cfg.WLANRxS < 0 {
 		return nil, fmt.Errorf("sim: negative WLAN RX time")
 	}
 	if cfg.BufferCap < 0 {
@@ -327,7 +328,7 @@ func New(cfg Config) (*Simulator, error) {
 		switch c.Name {
 		case device.NameWLAN:
 			s.wlanIdx = i
-			s.wlanRxE = (c.Power(device.Active) - c.Power(device.Idle)) * cfg.WLANRxSeconds
+			s.wlanRxE = (c.Power(device.Active) - c.Power(device.Idle)) * cfg.WLANRxS
 		case device.NameSRAM:
 			s.sramIdx = i
 			s.sramCoef = (c.Power(device.Active) - c.Power(device.Idle)) * perfmodel.MP3Curve().MemFraction
@@ -675,14 +676,25 @@ func (s *Simulator) publishMetrics() {
 	reg.Gauge("sim.peak_queue_len").Set(float64(s.res.PeakQueue))
 	reg.Gauge("sim.mean_decode_mhz").Set(s.res.FreqTime.Mean())
 	for i, c := range s.badge {
+		//lint:allow obscheck one-shot end-of-run publication, names vary per component
 		reg.Gauge("sim.energy_j." + c.Name).Set(s.energyComp[i])
 	}
 	for m := ModeDecode; m < numModes; m++ {
+		//lint:allow obscheck one-shot end-of-run publication, names vary per mode
 		reg.Gauge("sim.time_in_mode_s." + m.String()).Set(s.res.TimeInMode[m])
+		//lint:allow obscheck one-shot end-of-run publication, names vary per mode
 		reg.Gauge("sim.energy_by_mode_j." + m.String()).Set(s.res.EnergyByMode[m])
 	}
-	for mhz, dt := range s.opResidency {
-		reg.Gauge(fmt.Sprintf("sim.op_residency_s.%gmhz", mhz)).Set(dt)
+	// Publish residency in ascending operating-point order so registration
+	// order (and any future ordered consumer) is independent of map order.
+	points := make([]float64, 0, len(s.opResidency))
+	for mhz := range s.opResidency {
+		points = append(points, mhz)
+	}
+	sort.Float64s(points)
+	for _, mhz := range points {
+		//lint:allow obscheck one-shot end-of-run publication, names vary per operating point
+		reg.Gauge(fmt.Sprintf("sim.op_residency_s.%gmhz", mhz)).Set(s.opResidency[mhz])
 	}
 }
 
@@ -720,7 +732,7 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 	if clips := s.cfg.Trace.Clips; len(clips) > 0 && f.ClipIndex < len(clips) {
 		s.setCurKind(clips[f.ClipIndex].Kind)
 	}
-	// The radio's RX burst for this frame (see Config.WLANRxSeconds).
+	// The radio's RX burst for this frame (see Config.WLANRxS).
 	if s.wlanIdx >= 0 {
 		s.energyComp[s.wlanIdx] += s.wlanRxE
 		s.res.EnergyJ += s.wlanRxE

@@ -66,6 +66,15 @@ func (r *RNG) SplitAt(i uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// Clone returns an independent copy of r at its current state: both
+// generators produce the same stream from here on, and advancing one does
+// not affect the other. Used where the same sample sequence must be
+// replayed (e.g. re-binning a histogram over identical data).
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

@@ -248,3 +248,33 @@ func TestSplitAtStreamsUncorrelated(t *testing.T) {
 		}
 	}
 }
+
+// --- Clone: replayable copies ----------------------------------------------
+
+func TestCloneReplaysIdenticalStream(t *testing.T) {
+	base := NewRNG(17)
+	for i := 0; i < 3; i++ {
+		base.Uint64() // advance away from the seed state
+	}
+	a := base.Clone()
+	b := base.Clone()
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("cloned streams diverged at %d", i)
+		}
+	}
+}
+
+func TestCloneIsIndependentOfBase(t *testing.T) {
+	base := NewRNG(17)
+	want := base.Clone().Uint64()
+	c := base.Clone()
+	c.Uint64()
+	c.Uint64() // advancing the clone must not touch the base
+	if got := base.Clone().Uint64(); got != want {
+		t.Errorf("advancing a clone disturbed the base: %d != %d", got, want)
+	}
+	if base.Uint64() != want {
+		t.Error("base's own next draw differs from its clone's")
+	}
+}

@@ -1,0 +1,55 @@
+// Package units is the single home for physical-unit conversions in the
+// SmartBadge reproduction. The paper's tables mix scales — Table 1 is
+// milliwatts and milliseconds, the simulator works in watts, joules and
+// seconds, Table 3 reports kilojoules — and every crossing between them
+// goes through one of these named helpers instead of an inline *1000.
+//
+// The unitcheck analyzer (internal/analysis/unitcheck) enforces this: it
+// flags arithmetic and assignments that mix unit suffixes and recognises
+// functions named <from>To<to> as sanctioned conversions. Keeping the
+// helpers here means a scaling bug has exactly one place to live.
+package units
+
+// Power.
+
+// MWToW converts milliwatts to watts.
+func MWToW(mw float64) float64 { return mw / 1000 }
+
+// WToMW converts watts to milliwatts.
+func WToMW(w float64) float64 { return w * 1000 }
+
+// Time.
+
+// MSToS converts milliseconds to seconds.
+func MSToS(ms float64) float64 { return ms / 1000 }
+
+// SToMS converts seconds to milliseconds.
+func SToMS(s float64) float64 { return s * 1000 }
+
+// Energy.
+
+// JToKJ converts joules to kilojoules.
+func JToKJ(j float64) float64 { return j / 1000 }
+
+// KJToJ converts kilojoules to joules.
+func KJToJ(kj float64) float64 { return kj * 1000 }
+
+// MJToJ converts millijoules to joules.
+func MJToJ(mj float64) float64 { return mj / 1000 }
+
+// JToMJ converts joules to millijoules.
+func JToMJ(j float64) float64 { return j * 1000 }
+
+// Frequency.
+
+// MHzToHz converts megahertz to hertz.
+func MHzToHz(mhz float64) float64 { return mhz * 1e6 }
+
+// HzToMHz converts hertz to megahertz.
+func HzToMHz(hz float64) float64 { return hz / 1e6 }
+
+// KHzToHz converts kilohertz to hertz.
+func KHzToHz(khz float64) float64 { return khz * 1000 }
+
+// HzToKHz converts hertz to kilohertz.
+func HzToKHz(hz float64) float64 { return hz / 1000 }

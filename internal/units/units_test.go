@@ -1,0 +1,45 @@
+package units
+
+import "testing"
+
+func TestRoundTrips(t *testing.T) {
+	cases := []struct {
+		name     string
+		fwd, rev func(float64) float64
+	}{
+		{"mW/W", MWToW, WToMW},
+		{"ms/s", MSToS, SToMS},
+		{"J/kJ", JToKJ, KJToJ},
+		{"mJ/J", MJToJ, JToMJ},
+		{"MHz/Hz", MHzToHz, HzToMHz},
+		{"kHz/Hz", KHzToHz, HzToKHz},
+	}
+	for _, c := range cases {
+		for _, x := range []float64{0, 1, 0.25, 1e-6, 12345.678} {
+			if got := c.rev(c.fwd(x)); got != x {
+				t.Errorf("%s: round trip of %g gave %g", c.name, x, got)
+			}
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"400 mW", MWToW(400), 0.4},
+		{"1.425 W", WToMW(1.425), 1425},
+		{"10 ms", MSToS(10), 0.010},
+		{"0.035 s", SToMS(0.035), 35},
+		{"1500 J", JToKJ(1500), 1.5},
+		{"2.5 kJ", KJToJ(2.5), 2500},
+		{"221.2 MHz", MHzToHz(221.2), 221.2e6},
+		{"44.1 kHz", KHzToHz(44.1), 44100},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: got %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
