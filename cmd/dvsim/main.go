@@ -8,6 +8,7 @@
 //	dvsim -app mpeg -clip football -policy ideal
 //	dvsim -app mixed -policy changepoint -dpm renewal -seed 7
 //	dvsim -app mp3 -seq ACEFBD -metrics-out run.metrics.json -trace-out run.trace.jsonl
+//	dvsim -app mixed -dpm renewal -faults outage
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"smartbadge"
 	"smartbadge/internal/obs"
@@ -32,6 +34,8 @@ type runConfig struct {
 	workers        int
 	metricsOut     string
 	traceOut       string
+	faults         string
+	noGuardrails   bool
 }
 
 func main() {
@@ -50,6 +54,8 @@ func main() {
 	flag.IntVar(&c.workers, "j", 0, "bound parallelism (sets GOMAXPROCS, used by the threshold characterisation; 0 = all CPUs); results are identical for any value")
 	flag.StringVar(&c.metricsOut, "metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
 	flag.StringVar(&c.traceOut, "trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
+	flag.StringVar(&c.faults, "faults", "", "inject a fault scenario: "+strings.Join(smartbadge.FaultScenarios(), " | "))
+	flag.BoolVar(&c.noGuardrails, "no-guardrails", false, "run the fault scenario without watchdog/clamps/DPM guard")
 	flag.Parse()
 	if c.workers > 0 {
 		runtime.GOMAXPROCS(c.workers)
@@ -116,6 +122,7 @@ func run(c runConfig) error {
 		"timeout":   c.timeout,
 		"tracefile": c.traceFile,
 		"badge":     c.badgeFile,
+		"faults":    c.faults,
 	}))
 	if err != nil {
 		return err
@@ -123,14 +130,19 @@ func run(c runConfig) error {
 
 	fmt.Printf("workload: %s (%d frames, %.0f s)  policy: %s  dpm: %s  seed: %d\n\n",
 		c.app, len(trace.Frames), trace.Duration, policy, dpm, c.seed)
+	var faultReport smartbadge.FaultReport
 	opts := smartbadge.Options{
-		Application:    application,
-		Policy:         policy,
-		DPM:            dpm,
-		TimeoutS:       c.timeout,
-		Trace:          trace,
-		RecordTimeline: c.timeline,
-		Obs:            art.Observability(),
+		Application:       application,
+		Policy:            policy,
+		DPM:               dpm,
+		TimeoutS:          c.timeout,
+		Trace:             trace,
+		RecordTimeline:    c.timeline,
+		Obs:               art.Observability(),
+		Faults:            c.faults,
+		FaultSeed:         c.seed,
+		DisableGuardrails: c.noGuardrails,
+		FaultReport:       &faultReport,
 	}
 	if c.badgeFile != "" {
 		f, err := os.Open(c.badgeFile)
@@ -143,6 +155,9 @@ func run(c runConfig) error {
 	res, err := smartbadge.Run(opts)
 	if err != nil {
 		return err
+	}
+	if faultReport.Scenario != "" {
+		fmt.Printf("faults:   %s\n\n", faultReport)
 	}
 	fmt.Print(smartbadge.FormatResult(res))
 	if c.timeline {

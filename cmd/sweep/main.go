@@ -2,6 +2,7 @@
 //
 //	sweep -what pareto        # energy/latency frontier (M/M/1, MDP, fixed)
 //	sweep -what wakeprob      # performance-constrained DPM sweep
+//	sweep -what resilience    # fault scenarios x policy configurations
 package main
 
 import (
@@ -20,8 +21,10 @@ import (
 
 func main() {
 	var (
-		what = flag.String("what", "pareto", "sweep: pareto | wakeprob")
+		what = flag.String("what", "pareto", "sweep: pareto | wakeprob | resilience")
 		seed = flag.Uint64("seed", 1, "workload seed")
+		// faults filters the resilience sweep to one scenario ("" = all).
+		faultsFlag = flag.String("faults", "", "resilience sweep: only this fault scenario (default all)")
 		// Idle periods are overwhelmingly sub-second inter-frame gaps, so the
 		// wake-probability constraint only binds once it drops below the
 		// frequency of the long inter-clip gaps (~2e-4 of idle periods on
@@ -35,7 +38,7 @@ func main() {
 	flag.Parse()
 
 	err := prof.WithCPUProfile(*cpuprofile, func() error {
-		return run(os.Stdout, *what, *seed, *probs, *workers, *metricsOut, *traceOut)
+		return run(os.Stdout, *what, *seed, *probs, *faultsFlag, *workers, *metricsOut, *traceOut)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -43,10 +46,11 @@ func main() {
 	}
 }
 
-func run(w io.Writer, what string, seed uint64, probsFlag string, workers int, metricsOut, traceOut string) error {
+func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, workers int, metricsOut, traceOut string) error {
 	art, err := obs.OpenArtifacts(metricsOut, traceOut, obs.NewManifest("sweep", seed, workers, map[string]any{
-		"what":  what,
-		"probs": probsFlag,
+		"what":   what,
+		"probs":  probsFlag,
+		"faults": faultsFlag,
 	}))
 	if err != nil {
 		return err
@@ -105,8 +109,36 @@ func run(w io.Writer, what string, seed uint64, probsFlag string, workers int, m
 			}
 		}
 		return art.Close()
+	case "resilience":
+		stop := o.Registry().Timer("sweep.resilience").Start()
+		rows, err := experiments.ResilienceTable(seed, workers)
+		stop()
+		if err != nil {
+			return err
+		}
+		filter := strings.ToLower(strings.TrimSpace(faultsFlag))
+		fmt.Fprintln(w, "scenario,config,energy_kj,rel_energy,miss_rate,drops,peak_queue,trips,safe_mode_s,recovered,dpm_vetoes")
+		for _, r := range rows {
+			if filter != "" && filter != "all" && r.Scenario != filter {
+				continue
+			}
+			fmt.Fprintf(w, "%s,%s,%.4f,%.4f,%.5f,%d,%d,%d,%.2f,%t,%d\n",
+				r.Scenario, r.Config, r.EnergyKJ, r.RelEnergy, r.MissRate,
+				r.Drops, r.PeakQueue, r.Trips, r.SafeModeS, r.Recovered, r.Vetoes)
+			cPoints.Inc()
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind:  "sweep_point",
+					Comp:  r.Scenario + "/" + r.Config,
+					Value: r.EnergyKJ * 1000,
+					Detail: fmt.Sprintf("miss_rate=%.5f drops=%d trips=%d recovered=%t",
+						r.MissRate, r.Drops, r.Trips, r.Recovered),
+				})
+			}
+		}
+		return art.Close()
 	default:
-		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob)", what)
+		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob|resilience)", what)
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 
 func TestRunPareto(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "pareto", 1, "", 0, "", ""); err != nil {
+	if err := run(&buf, "pareto", 1, "", "", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -25,7 +25,7 @@ func TestRunPareto(t *testing.T) {
 
 func TestRunWakeProb(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "wakeprob", 1, "1,0.1", 0, "", ""); err != nil {
+	if err := run(&buf, "wakeprob", 1, "1,0.1", "", 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -35,13 +35,13 @@ func TestRunWakeProb(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "bogus", 1, "", 0, "", ""); err == nil {
+	if err := run(io.Discard, "bogus", 1, "", "", 0, "", ""); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "x", 0, "", ""); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "x", "", 0, "", ""); err == nil {
 		t.Error("bad probs accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "0", 0, "", ""); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "0", "", 0, "", ""); err == nil {
 		t.Error("zero probability accepted")
 	}
 }
@@ -50,10 +50,10 @@ func TestRunErrors(t *testing.T) {
 // is byte-identical whether the sweep runs serially or fanned out.
 func TestRunWakeProbWorkerCountInvariant(t *testing.T) {
 	var serial, fanned bytes.Buffer
-	if err := run(&serial, "wakeprob", 2, "1,0.1", 1, "", ""); err != nil {
+	if err := run(&serial, "wakeprob", 2, "1,0.1", "", 1, "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&fanned, "wakeprob", 2, "1,0.1", 4, "", ""); err != nil {
+	if err := run(&fanned, "wakeprob", 2, "1,0.1", "", 4, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != fanned.String() {
@@ -67,7 +67,7 @@ func TestRunObservabilityArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	metrics := dir + "/sweep.metrics.json"
 	trace := dir + "/sweep.trace.jsonl"
-	if err := run(io.Discard, "wakeprob", 1, "1,0.1", 0, metrics, trace); err != nil {
+	if err := run(io.Discard, "wakeprob", 1, "1,0.1", "", 0, metrics, trace); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(metrics)

@@ -26,6 +26,7 @@ var DeterministicPkgs = map[string]bool{
 	"sim": true, "stats": true, "parallel": true, "changepoint": true,
 	"policy": true, "dpm": true, "tismdp": true, "markov": true,
 	"mdp": true, "queue": true, "workload": true, "obs": true,
+	"faults": true,
 }
 
 // forbiddenTimeFuncs are the wall-clock and timer entry points of package

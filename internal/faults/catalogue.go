@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smartbadge/internal/workload"
+)
+
+// catalogueNames is the canonical scenario list (sans "none"), kept static so
+// Names never needs a trace.
+var catalogueNames = []string{"corruption", "mayhem", "outage", "sag", "storm", "stragglers"}
+
+// Catalogue returns the named scenarios fitted to the given trace. Window
+// start times are anchored on frame-arrival quantiles — the time at which a
+// given fraction of the stream has arrived — not on raw fractions of the
+// timeline: workloads with long inter-clip idle gaps (the Table 5 scenario)
+// spend most of their duration silent, and a window positioned by wall-clock
+// fraction would routinely land in a gap and inject nothing. Window lengths
+// are fractions of the trace duration with floors so that very short traces
+// still see a meaningful fault. Catalogue errors on a nil or empty trace.
+//
+// The scenarios:
+//
+//	outage      one access-point outage starting when 25% of frames have
+//	            arrived (~6% of the trace long, at least 20 s) with a
+//	            120 fr/s catch-up burst
+//	storm       one cross-traffic storm at the 45% frame quantile (~4%,
+//	            at least 10 s) compressing interarrivals 6x
+//	corruption  frame corruption across the middle half of the stream:
+//	            2% drops, 6% redecodes at 3x work
+//	stragglers  heavy-tailed decode stragglers across the middle half:
+//	            8% of frames take Pareto(1, 1.5) extra work
+//	sag         one battery-sag window at the 55% frame quantile (~10%,
+//	            at least 15 s) scaling all power draw by 1.35
+//	mayhem      all of the above at once (windows staggered so the
+//	            time-shifting ones stay disjoint)
+func Catalogue(tr *workload.Trace) ([]Scenario, error) {
+	if tr == nil || len(tr.Frames) == 0 {
+		return nil, fmt.Errorf("faults: catalogue needs a non-empty trace")
+	}
+	durationS := tr.Duration
+	if durationS <= 0 {
+		durationS = 1
+	}
+	frac := func(f, floorS float64) float64 {
+		d := f * durationS
+		if d < floorS {
+			return floorS
+		}
+		return d
+	}
+	// anchor returns the arrival time of the frame at quantile q of the
+	// stream — a spot guaranteed to sit in (or at the edge of) a burst.
+	anchor := func(q float64) float64 {
+		i := int(q * float64(len(tr.Frames)-1))
+		return tr.Frames[i].Arrival
+	}
+	outage := Outage{
+		StartS:      anchor(0.25),
+		DurationS:   frac(0.06, 20),
+		CatchupRate: 120,
+	}
+	storm := Storm{
+		StartS:    anchor(0.45),
+		DurationS: frac(0.04, 10),
+		Compress:  6,
+	}
+	// The standalone storm must not depend on the outage, but in mayhem the
+	// two time-shifting windows have to be disjoint; if the anchors are too
+	// close the mayhem storm slides past the outage's end.
+	corruption := Corruption{
+		StartS:       anchor(0.25),
+		DurationS:    frac(0.50, 30),
+		DropProb:     0.02,
+		RedecodeProb: 0.06,
+		RedecodeCost: 3,
+	}
+	stragglers := Stragglers{
+		StartS:    anchor(0.25),
+		DurationS: frac(0.50, 30),
+		Prob:      0.08,
+		Shape:     1.5,
+	}
+	sag := Sag{
+		StartS:    anchor(0.55),
+		DurationS: frac(0.10, 15),
+		Factor:    1.35,
+	}
+	mayhemStorm := storm
+	mayhemStorm.StartS = anchor(0.70)
+	if mayhemStorm.StartS < outage.StartS+outage.DurationS {
+		mayhemStorm.StartS = outage.StartS + outage.DurationS
+	}
+	scenarios := []Scenario{
+		{
+			Name:        "outage",
+			Description: "WLAN access-point outage with catch-up burst",
+			Outages:     []Outage{outage},
+		},
+		{
+			Name:        "storm",
+			Description: "cross-traffic storm (transient arrival-rate spike)",
+			Storms:      []Storm{storm},
+		},
+		{
+			Name:        "corruption",
+			Description: "frame corruption (payload drops and redecodes)",
+			Corruptions: []Corruption{corruption},
+		},
+		{
+			Name:        "stragglers",
+			Description: "heavy-tailed decode stragglers",
+			Stragglers:  []Stragglers{stragglers},
+		},
+		{
+			Name:        "sag",
+			Description: "battery voltage sag (power derating)",
+			Sags:        []Sag{sag},
+		},
+		{
+			Name:        "mayhem",
+			Description: "every fault primitive at once",
+			Outages:     []Outage{outage},
+			Storms:      []Storm{mayhemStorm},
+			Corruptions: []Corruption{corruption},
+			Stragglers:  []Stragglers{stragglers},
+			Sags:        []Sag{sag},
+		},
+	}
+	for _, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("faults: catalogue scenario %q invalid for this trace: %w", sc.Name, err)
+		}
+	}
+	return scenarios, nil
+}
+
+// Names lists the catalogue scenario names (plus "none"), sorted with "none"
+// first — the values accepted by ByName and the -faults flags.
+func Names() []string {
+	names := append([]string(nil), catalogueNames...)
+	sort.Strings(names)
+	return append([]string{"none"}, names...)
+}
+
+// ValidName reports whether name (case-insensitive; "" counts as "none") is a
+// scenario ByName accepts — the cheap check for option validation, needing no
+// trace.
+func ValidName(name string) bool {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" || n == "none" {
+		return true
+	}
+	for _, c := range catalogueNames {
+		if c == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ByName resolves a scenario name (case-insensitive) against the catalogue
+// fitted to tr. "none" and "" return the empty scenario.
+func ByName(name string, tr *workload.Trace) (Scenario, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" || n == "none" {
+		return Scenario{Name: "none"}, nil
+	}
+	if !ValidName(n) {
+		return Scenario{}, fmt.Errorf("faults: unknown scenario %q (want %s)", name, strings.Join(Names(), "|"))
+	}
+	scenarios, err := Catalogue(tr)
+	if err != nil {
+		return Scenario{}, err
+	}
+	for _, sc := range scenarios {
+		if sc.Name == n {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("faults: scenario %q missing from the catalogue", name)
+}

@@ -32,6 +32,14 @@ import (
 //	threshold    characterised detection threshold (NewRate=ratio, Value)
 //	sweep_point  one sweep result row (Comp, Detail)
 //	run_end      simulation finished (Value=total joules)
+//	fault        fault window injected (Comp=primitive, T=window start,
+//	             DelayS=window length, Detail; Value=factor for sag)
+//	guard_trip   overload watchdog engaged (Queue on the queue trigger,
+//	             Detail=which trigger)
+//	guard_clear  overload watchdog released (Queue, DelayS=engagement length)
+//	dpm_suspect  DPM guard marked idle statistics suspect (Comp=wrapped
+//	             policy, Detail=idle spike|external)
+//	dpm_veto     DPM guard refused a sleep decision (Comp=wrapped policy)
 type Event struct {
 	T         float64            `json:"t"`
 	Kind      string             `json:"kind"`

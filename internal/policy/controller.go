@@ -2,12 +2,34 @@ package policy
 
 import (
 	"fmt"
+	"math"
 
 	"smartbadge/internal/obs"
 	"smartbadge/internal/perfmodel"
 	"smartbadge/internal/queue"
 	"smartbadge/internal/sa1100"
 )
+
+// RateClamp bounds an estimator's output before the M/M/1 equation consumes
+// it, so a single wild sample (a fault-injected straggler, a catch-up burst's
+// microsecond interarrivals) cannot command an out-of-range frequency. Each
+// bound is active only when positive; the zero value clamps nothing, which
+// keeps fault-free behaviour bit-identical.
+type RateClamp struct {
+	Lo float64
+	Hi float64
+}
+
+// Clamp returns x limited to the active bounds.
+func (r RateClamp) Clamp(x float64) float64 {
+	if r.Lo > 0 && x < r.Lo {
+		return r.Lo
+	}
+	if r.Hi > 0 && x > r.Hi {
+		return r.Hi
+	}
+	return x
+}
 
 // Controller is the paper's frequency-setting policy: it combines an arrival
 // rate estimator and a service (decode) rate estimator and, on every estimate
@@ -38,6 +60,11 @@ type Controller struct {
 	// Useful against rung dithering when the rate estimators are noisy
 	// (e.g. the exponential-average baseline); set in [0, 1).
 	Hysteresis float64
+	// ArrivalClamp and ServiceClamp bound the estimated rates fed to the
+	// M/M/1 equation (graceful degradation under fault injection). The zero
+	// values clamp nothing.
+	ArrivalClamp RateClamp
+	ServiceClamp RateClamp
 
 	current sa1100.OperatingPoint
 	// Reconfigurations counts operating-point changes (each costs the
@@ -130,7 +157,28 @@ func (c *Controller) RequiredFrequencyMHz() float64 {
 	return c.requiredFrequencyMHz(c.ArrivalEst.Rate(), c.ServiceEst.Rate())
 }
 
+// DemandRatio returns the uncapped normalised performance demand implied by
+// the current (clamped) estimates: the required decode rate divided by the
+// estimated max-frequency decode rate. RequiredFrequencyMHz saturates at the
+// ladder top, so estimator divergence is invisible through it; this ratio
+// keeps growing past 1 and is the overload watchdog's divergence signal
+// (see GuardConfig.DivergeRatio). Degenerate estimates report +Inf.
+func (c *Controller) DemandRatio() float64 {
+	lambdaU := c.ArrivalClamp.Clamp(c.ArrivalEst.Rate())
+	lambdaDMax := c.ServiceClamp.Clamp(c.ServiceEst.Rate())
+	if lambdaDMax <= 0 {
+		return math.Inf(1)
+	}
+	required, err := queue.RequiredServiceRate(max(lambdaU, 0), c.TargetDelay)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return required / lambdaDMax
+}
+
 func (c *Controller) requiredFrequencyMHz(lambdaU, lambdaDMax float64) float64 {
+	lambdaU = c.ArrivalClamp.Clamp(lambdaU)
+	lambdaDMax = c.ServiceClamp.Clamp(lambdaDMax)
 	fMax := c.Proc.Max().FrequencyMHz
 	if lambdaDMax <= 0 {
 		return fMax

@@ -1,0 +1,253 @@
+package policy
+
+import (
+	"fmt"
+
+	"smartbadge/internal/obs"
+)
+
+// GuardConfig parameterises the overload watchdog (OverloadGuard): the
+// graceful-degradation companion to the M/M/1 controller. The controller's
+// delay guarantee rests on its rate estimates being roughly right; under a
+// fault (an access-point outage's catch-up burst, a cross-traffic storm,
+// heavy-tailed decode stragglers) the estimates lag reality and the frame
+// buffer grows while the controller holds a mid-ladder operating point. The
+// watchdog detects that regime and forces the safe fallback — maximum
+// performance — until the backlog clears.
+type GuardConfig struct {
+	// QueueHigh is the buffer occupancy treated as overload when sustained.
+	QueueHigh int
+	// QueueLow is the occupancy at or below which recovery may begin; the
+	// QueueHigh/QueueLow gap is the hysteresis band that prevents the guard
+	// from chattering around a single threshold.
+	QueueLow int
+	// TripAfterS is how long the overload condition must persist before the
+	// guard engages: transient bursts the controller absorbs on its own must
+	// not trip the fallback.
+	TripAfterS float64
+	// RecoverAfterS is how long the queue must stay at or below QueueLow
+	// before the guard releases back to the M/M/1 setpoint.
+	RecoverAfterS float64
+	// DivergeRatio is the estimator-divergence trigger: when the controller's
+	// demand ratio (required service rate over the estimated max-frequency
+	// decode rate, uncapped — see Controller.DemandRatio) stays at or above
+	// this value for TripAfterS, the estimates are asking for more than the
+	// hardware can deliver and the guard engages. Values <= 0 disable this
+	// trigger, leaving only the queue trigger.
+	DivergeRatio float64
+}
+
+// DefaultGuardConfig returns the tuning used by the resilience experiments:
+// trip on ~32 buffered frames (an order of magnitude above the paper's delay
+// allowances) sustained for 0.75 s, recover after the queue has been back
+// under 4 frames for 2 s, and treat a sustained demand ratio of 1.5 as
+// estimator divergence.
+func DefaultGuardConfig() GuardConfig {
+	return GuardConfig{
+		QueueHigh:     32,
+		QueueLow:      4,
+		TripAfterS:    0.75,
+		RecoverAfterS: 2.0,
+		DivergeRatio:  1.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c GuardConfig) Validate() error {
+	if c.QueueHigh < 1 {
+		return fmt.Errorf("policy: guard QueueHigh must be >= 1, got %d", c.QueueHigh)
+	}
+	if c.QueueLow < 0 || c.QueueLow >= c.QueueHigh {
+		return fmt.Errorf("policy: guard QueueLow %d must be in [0, QueueHigh %d)", c.QueueLow, c.QueueHigh)
+	}
+	if c.TripAfterS < 0 {
+		return fmt.Errorf("policy: guard TripAfterS must be non-negative, got %v", c.TripAfterS)
+	}
+	if c.RecoverAfterS < 0 {
+		return fmt.Errorf("policy: guard RecoverAfterS must be non-negative, got %v", c.RecoverAfterS)
+	}
+	return nil
+}
+
+// GuardStats is the watchdog's end-of-run summary.
+type GuardStats struct {
+	// Trips counts engagements (fallbacks to maximum performance).
+	Trips int
+	// EngagedS is the total time spent engaged (safe mode).
+	EngagedS float64
+	// Engaged reports whether the guard was still engaged at snapshot time —
+	// a run that ends engaged never recovered.
+	Engaged bool
+	// LastRecoveryS is the duration of the most recent completed engagement:
+	// the trip-to-release recovery time. Zero when no engagement completed.
+	LastRecoveryS float64
+}
+
+// OverloadGuard is the overload watchdog. The simulator reports buffer
+// occupancy and controller demand through ObserveQueue/ObserveDemand at every
+// buffer-changing event and consults Engaged when selecting the operating
+// point for the next frame. All methods are safe on a nil receiver (the
+// fast path when no guardrails are configured).
+//
+// The guard is deliberately time-driven rather than event-count-driven: both
+// triggers require their condition to be sustained over simulated time, so
+// the trip/recover behaviour is independent of how bursty the event stream is.
+type OverloadGuard struct {
+	cfg GuardConfig
+	// OnTrip, when non-nil, is called on every engagement — the hook that
+	// lets a DPM guard mark its idle statistics suspect without this package
+	// importing internal/dpm.
+	OnTrip func(nowS float64)
+
+	engaged bool
+	// Condition onset times; negative means "not currently holding".
+	aboveSinceS   float64
+	divergeSinceS float64
+	belowSinceS   float64
+	tripAtS       float64
+
+	trips         int
+	engagedS      float64
+	lastRecoveryS float64
+
+	tr      *obs.Tracer
+	cTrips  *obs.Counter
+	cClears *obs.Counter
+}
+
+// NewOverloadGuard validates the configuration and returns a disengaged guard.
+func NewOverloadGuard(cfg GuardConfig) (*OverloadGuard, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &OverloadGuard{
+		cfg:           cfg,
+		aboveSinceS:   -1,
+		divergeSinceS: -1,
+		belowSinceS:   -1,
+	}, nil
+}
+
+// Instrument attaches observability: engagements and releases are counted and
+// traced as "guard_trip"/"guard_clear" events. A nil o is a no-op.
+func (g *OverloadGuard) Instrument(o *obs.Obs) {
+	if g == nil || o == nil {
+		return
+	}
+	g.tr = o.Tracer()
+	if r := o.Registry(); r != nil {
+		g.cTrips = r.Counter("policy.guard_trips")
+		g.cClears = r.Counter("policy.guard_clears")
+	}
+}
+
+// Engaged reports whether the guard currently forces maximum performance.
+func (g *OverloadGuard) Engaged() bool {
+	if g == nil {
+		return false
+	}
+	return g.engaged
+}
+
+// ObserveQueue reports the buffer occupancy at simulated time nowS. While
+// disengaged it arms/advances the overload trigger; while engaged it
+// arms/advances the hysteretic recovery.
+func (g *OverloadGuard) ObserveQueue(nowS float64, queueLen int) {
+	if g == nil {
+		return
+	}
+	if g.engaged {
+		if queueLen <= g.cfg.QueueLow {
+			if g.belowSinceS < 0 {
+				g.belowSinceS = nowS
+			}
+			if nowS-g.belowSinceS >= g.cfg.RecoverAfterS {
+				g.release(nowS, queueLen)
+			}
+		} else {
+			g.belowSinceS = -1
+		}
+		return
+	}
+	if queueLen >= g.cfg.QueueHigh {
+		if g.aboveSinceS < 0 {
+			g.aboveSinceS = nowS
+		}
+		if nowS-g.aboveSinceS >= g.cfg.TripAfterS {
+			g.trip(nowS, queueLen)
+		}
+	} else {
+		g.aboveSinceS = -1
+	}
+}
+
+// ObserveDemand reports the controller's demand ratio at simulated time nowS
+// (see GuardConfig.DivergeRatio). Only meaningful while disengaged.
+func (g *OverloadGuard) ObserveDemand(nowS, demandRatio float64) {
+	if g == nil || g.engaged || g.cfg.DivergeRatio <= 0 {
+		return
+	}
+	if demandRatio >= g.cfg.DivergeRatio {
+		if g.divergeSinceS < 0 {
+			g.divergeSinceS = nowS
+		}
+		if nowS-g.divergeSinceS >= g.cfg.TripAfterS {
+			g.trip(nowS, -1)
+		}
+	} else {
+		g.divergeSinceS = -1
+	}
+}
+
+func (g *OverloadGuard) trip(nowS float64, queueLen int) {
+	g.engaged = true
+	g.trips++
+	g.tripAtS = nowS
+	g.aboveSinceS = -1
+	g.divergeSinceS = -1
+	g.belowSinceS = -1
+	g.cTrips.Inc()
+	if g.tr != nil {
+		e := obs.Event{T: nowS, Kind: "guard_trip"}
+		if queueLen >= 0 {
+			e.Queue = queueLen
+			e.Detail = "sustained queue growth"
+		} else {
+			e.Detail = "estimator divergence"
+		}
+		g.tr.Emit(e)
+	}
+	if g.OnTrip != nil {
+		g.OnTrip(nowS)
+	}
+}
+
+func (g *OverloadGuard) release(nowS float64, queueLen int) {
+	g.engaged = false
+	d := nowS - g.tripAtS
+	g.engagedS += d
+	g.lastRecoveryS = d
+	g.belowSinceS = -1
+	g.cClears.Inc()
+	if g.tr != nil {
+		g.tr.Emit(obs.Event{T: nowS, Kind: "guard_clear", Queue: queueLen, DelayS: d})
+	}
+}
+
+// Stats snapshots the guard at simulated time nowS; an engagement still open
+// at that time is counted into EngagedS. Zero value on a nil receiver.
+func (g *OverloadGuard) Stats(nowS float64) GuardStats {
+	if g == nil {
+		return GuardStats{}
+	}
+	st := GuardStats{
+		Trips:         g.trips,
+		EngagedS:      g.engagedS,
+		Engaged:       g.engaged,
+		LastRecoveryS: g.lastRecoveryS,
+	}
+	if g.engaged {
+		st.EngagedS += nowS - g.tripAtS
+	}
+	return st
+}

@@ -105,6 +105,27 @@ type Config struct {
 	// (internal/mdp) plugs into. The Controller is still required: its
 	// estimators keep running and its delay target defines the QoS counters.
 	QueuePolicy QueuePolicy
+	// Guard, when non-nil, is the overload watchdog (graceful degradation
+	// under fault injection): the simulator reports buffer occupancy and the
+	// controller's demand ratio at every buffer-changing event, and while the
+	// guard is engaged every decode starts at the maximum operating point
+	// regardless of the controller's (or QueuePolicy's) selection. nil — the
+	// default and the fault-free configuration — changes nothing.
+	Guard *policy.OverloadGuard
+	// Derate lists power-derating windows (battery voltage sag injected by
+	// internal/faults: a sagging supply drags down DC-DC conversion
+	// efficiency, so every component draws more input power for the same
+	// work). All draw inside [StartS, EndS) is multiplied by Factor. Windows
+	// must be non-overlapping; nil leaves the power model untouched.
+	Derate []PowerDerate
+}
+
+// PowerDerate scales every component's power draw by Factor during
+// [StartS, EndS).
+type PowerDerate struct {
+	StartS float64
+	EndS   float64
+	Factor float64
 }
 
 // QueuePolicy selects the operating point from the buffer occupancy at the
@@ -154,6 +175,12 @@ type Result struct {
 	Deepens int
 	// AvgPowerW is EnergyJ / SimTime.
 	AvgPowerW float64
+	// GuardTrips counts overload-watchdog engagements (0 without a guard or
+	// when the run never overloaded).
+	GuardTrips int
+	// GuardEngagedS is the total time the watchdog held the processor at
+	// maximum performance (safe mode).
+	GuardEngagedS float64
 	// FreqTime is the time-weighted average CPU frequency while decoding.
 	FreqTime stats.TimeWeighted
 	// Timeline holds the mode spans when Config.RecordTimeline is set.
@@ -232,6 +259,25 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// InternalError reports a violated simulator invariant — a bug in the
+// simulator or a configuration hostile enough to evade validation, never a
+// normal outcome. Internally it travels as a panic (the invariant checks sit
+// on hot paths that have no error return), but Run recovers it and returns it
+// wrapped, so library callers and parallel sweep workers fail loudly per run
+// instead of killing the whole process. Reason carries the original panic
+// text; match with errors.As.
+type InternalError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *InternalError) Error() string { return "sim: internal error: " + e.Reason }
+
+// internalf panics with an *InternalError for Run to recover.
+func internalf(format string, args ...any) {
+	panic(&InternalError{Reason: fmt.Sprintf(format, args...)})
+}
+
 // Simulator executes one run. Create with New, drive with Run.
 type Simulator struct {
 	cfg   Config
@@ -275,6 +321,10 @@ type Simulator struct {
 	wlanIdx, sramIdx, dramIdx int
 	wlanRxE                   float64
 	sramCoef, dramCoef        float64
+	// derate is Config.Derate validated and sorted by start time (a copy, so
+	// the caller's slice is never mutated). Empty on the fault-free path,
+	// where it costs a single len check per charge.
+	derate []PowerDerate
 
 	// Observability (all nil/empty when Config.Obs is nil — the fast path).
 	// tr is the event tracer; lastEnergy snapshots energyComp at the last
@@ -313,6 +363,10 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.BufferCap < 0 {
 		return nil, fmt.Errorf("sim: negative buffer capacity")
 	}
+	derate, err := sortedDerate(cfg.Derate)
+	if err != nil {
+		return nil, err
+	}
 	s := &Simulator{
 		cfg:            cfg,
 		badge:          cfg.Badge.Components(),
@@ -321,6 +375,7 @@ func New(cfg Config) (*Simulator, error) {
 		buffer:         queue.NewBuffer(),
 		curKind:        cfg.Kind,
 		pendingArrival: -1,
+		derate:         derate,
 	}
 	s.energyComp = make([]float64, len(s.badge))
 	s.wlanIdx, s.sramIdx, s.dramIdx = -1, -1, -1
@@ -353,6 +408,30 @@ func New(cfg Config) (*Simulator, error) {
 // delayBuckets spans the paper's delay targets (0.1 s video, 0.15 s audio)
 // with resolution on both sides of the constraint.
 var delayBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1, 2, 5}
+
+// sortedDerate validates the derating windows and returns them sorted by
+// start time.
+func sortedDerate(windows []PowerDerate) ([]PowerDerate, error) {
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	out := make([]PowerDerate, len(windows))
+	copy(out, windows)
+	sort.Slice(out, func(i, j int) bool { return out[i].StartS < out[j].StartS })
+	for i, w := range out {
+		if w.StartS < 0 || w.EndS <= w.StartS {
+			return nil, fmt.Errorf("sim: derate window [%v, %v) is not a valid interval", w.StartS, w.EndS)
+		}
+		if w.Factor <= 0 {
+			return nil, fmt.Errorf("sim: derate factor must be positive, got %v", w.Factor)
+		}
+		if i > 0 && w.StartS < out[i-1].EndS {
+			return nil, fmt.Errorf("sim: derate windows [%v, %v) and [%v, %v) overlap",
+				out[i-1].StartS, out[i-1].EndS, w.StartS, w.EndS)
+		}
+	}
+	return out, nil
+}
 
 // setMode switches the operating mode, flushing the per-component energy
 // accrued in the outgoing mode to the tracer first so every trace segment is
@@ -431,7 +510,8 @@ func (s *Simulator) componentPower(c device.Component) float64 {
 		}
 		return c.Power(device.Active)
 	default:
-		panic(fmt.Sprintf("sim: bad mode %v", s.mode))
+		internalf("bad mode %v", s.mode)
+		return 0 // unreachable
 	}
 }
 
@@ -461,13 +541,20 @@ func (s *Simulator) modePower() []float64 {
 func (s *Simulator) chargeTo(t float64) {
 	dt := t - s.now
 	if dt < 0 {
-		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, t))
+		internalf("time went backwards: %v -> %v", s.now, t)
 	}
 	if dt > 0 {
 		s.recordSpan(s.now, t)
 		pv := s.modePower()
+		// Under a voltage-sag derating window the same power vector costs
+		// more input energy; fold the overlap into an effective duration so
+		// the hot loop below stays a plain dot product.
+		edt := dt
+		if len(s.derate) > 0 {
+			edt += s.derateExtra(s.now, t)
+		}
 		for i, p := range pv {
-			e := p * dt
+			e := p * edt
 			s.energyComp[i] += e
 			s.res.EnergyJ += e
 			s.res.EnergyByMode[s.mode] += e
@@ -482,6 +569,45 @@ func (s *Simulator) chargeTo(t float64) {
 		}
 	}
 	s.now = t
+}
+
+// derateExtra returns the additional effective integration time contributed
+// by derating windows overlapping [t0, t1]: for each overlap of length d with
+// factor f, the energy surcharge equals power x d x (f-1).
+func (s *Simulator) derateExtra(t0, t1 float64) float64 {
+	extra := 0.0
+	for _, w := range s.derate {
+		if w.EndS <= t0 {
+			continue
+		}
+		if w.StartS >= t1 {
+			break // sorted by start: no later window overlaps either
+		}
+		lo, hi := w.StartS, w.EndS
+		if lo < t0 {
+			lo = t0
+		}
+		if hi > t1 {
+			hi = t1
+		}
+		extra += (w.Factor - 1) * (hi - lo)
+	}
+	return extra
+}
+
+// derateFactorAt returns the derating factor in force at time tm (1 outside
+// every window) — applied to the instantaneous per-event energy lumps (WLAN
+// RX bursts, data-memory access).
+func (s *Simulator) derateFactorAt(tm float64) float64 {
+	for _, w := range s.derate {
+		if tm < w.StartS {
+			break
+		}
+		if tm < w.EndS {
+			return w.Factor
+		}
+	}
+	return 1
 }
 
 func (s *Simulator) push(e event) {
@@ -515,6 +641,10 @@ func (s *Simulator) startDecodeIfPossible() {
 	if s.cfg.QueuePolicy != nil {
 		target = s.cfg.QueuePolicy.OperatingPointFor(s.buffer.Len())
 	}
+	if s.cfg.Guard.Engaged() {
+		// Watchdog safe mode: decode flat out until the backlog clears.
+		target = s.cfg.Proc.Max()
+	}
 	extra := 0.0
 	if target != s.appliedOp {
 		if s.tr != nil {
@@ -529,7 +659,7 @@ func (s *Simulator) startDecodeIfPossible() {
 	}
 	perf := s.cfg.Controller.Curve.PerfRatio(s.appliedOp.FrequencyMHz / s.cfg.Proc.Max().FrequencyMHz)
 	if perf <= 0 {
-		panic("sim: zero performance at selected operating point")
+		internalf("zero performance at selected operating point (%g MHz)", s.appliedOp.FrequencyMHz)
 	}
 	s.setMode(ModeDecode)
 	s.decoding = true
@@ -575,8 +705,21 @@ func (s *Simulator) peekNextArrivalTime() float64 {
 	return s.pendingArrival
 }
 
-// Run executes the simulation to completion and returns the result.
-func (s *Simulator) Run() (*Result, error) {
+// Run executes the simulation to completion and returns the result. A
+// violated internal invariant surfaces as a wrapped *InternalError rather
+// than a panic (see InternalError); any other panic propagates unchanged.
+func (s *Simulator) Run() (_ *Result, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ie, ok := r.(*InternalError)
+		if !ok {
+			panic(r)
+		}
+		err = fmt.Errorf("sim: run aborted at t=%.6f: %w", s.now, ie)
+	}()
 	if s.nextFrame != 0 || s.now != 0 {
 		return nil, fmt.Errorf("sim: Run may only be called once")
 	}
@@ -641,6 +784,11 @@ func (s *Simulator) Run() (*Result, error) {
 		s.res.EnergyByComponent[c.Name] = s.energyComp[i]
 	}
 	s.res.PeakQueue = s.buffer.Peak()
+	if s.cfg.Guard != nil {
+		st := s.cfg.Guard.Stats(s.now)
+		s.res.GuardTrips = st.Trips
+		s.res.GuardEngagedS = st.EngagedS
+	}
 	if s.res.FramesDecoded+s.res.FramesDropped != len(frames) {
 		return nil, fmt.Errorf("sim: decoded %d + dropped %d of %d frames",
 			s.res.FramesDecoded, s.res.FramesDropped, len(frames))
@@ -675,6 +823,10 @@ func (s *Simulator) publishMetrics() {
 	reg.Gauge("sim.mean_queue_len").Set(s.res.QueueLen.Mean())
 	reg.Gauge("sim.peak_queue_len").Set(float64(s.res.PeakQueue))
 	reg.Gauge("sim.mean_decode_mhz").Set(s.res.FreqTime.Mean())
+	if s.cfg.Guard != nil {
+		reg.Gauge("sim.guard_trips").Set(float64(s.res.GuardTrips))
+		reg.Gauge("sim.guard_engaged_s").Set(s.res.GuardEngagedS)
+	}
 	for i, c := range s.badge {
 		//lint:allow obscheck one-shot end-of-run publication, names vary per component
 		reg.Gauge("sim.energy_j." + c.Name).Set(s.energyComp[i])
@@ -734,9 +886,13 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 	}
 	// The radio's RX burst for this frame (see Config.WLANRxS).
 	if s.wlanIdx >= 0 {
-		s.energyComp[s.wlanIdx] += s.wlanRxE
-		s.res.EnergyJ += s.wlanRxE
-		s.res.EnergyByMode[s.mode] += s.wlanRxE
+		rxE := s.wlanRxE
+		if len(s.derate) > 0 {
+			rxE *= s.derateFactorAt(s.now)
+		}
+		s.energyComp[s.wlanIdx] += rxE
+		s.res.EnergyJ += rxE
+		s.res.EnergyByMode[s.mode] += rxE
 	}
 
 	if s.cfg.BufferCap > 0 && s.buffer.Len() >= s.cfg.BufferCap {
@@ -753,6 +909,10 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{T: s.now, Kind: "arrival", Frame: f.Seq + 1, Queue: s.buffer.Len()})
 		}
+	}
+	if s.cfg.Guard != nil {
+		s.cfg.Guard.ObserveQueue(s.now, s.buffer.Len())
+		s.cfg.Guard.ObserveDemand(s.now, s.cfg.Controller.DemandRatio())
 	}
 
 	switch s.mode {
@@ -781,7 +941,7 @@ func (s *Simulator) handleArrival(f workload.TraceFrame) {
 func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
 	done := s.buffer.Pop()
 	if done.Seq != f.Seq {
-		panic(fmt.Sprintf("sim: decode completion order mismatch: %d vs %d", done.Seq, f.Seq))
+		internalf("decode completion order mismatch: %d vs %d", done.Seq, f.Seq)
 	}
 	s.decoding = false
 	s.res.FramesDecoded++
@@ -808,6 +968,9 @@ func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
 	}
 	if memIdx >= 0 {
 		memE := memCoef * f.Work
+		if len(s.derate) > 0 {
+			memE *= s.derateFactorAt(s.now)
+		}
 		s.energyComp[memIdx] += memE
 		s.res.EnergyJ += memE
 		s.res.EnergyByMode[ModeDecode] += memE
@@ -815,6 +978,10 @@ func (s *Simulator) handleDecodeDone(f workload.TraceFrame) {
 	// Feed the service estimator with the decode time normalised to the
 	// maximum frequency (the PM knows the current point's performance ratio).
 	s.cfg.Controller.OnService(f.Work, f.TrueDecodeRateMax)
+	if s.cfg.Guard != nil {
+		s.cfg.Guard.ObserveQueue(s.now, s.buffer.Len())
+		s.cfg.Guard.ObserveDemand(s.now, s.cfg.Controller.DemandRatio())
+	}
 	if s.buffer.Empty() {
 		s.enterIdle()
 		return

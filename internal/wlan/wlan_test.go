@@ -145,3 +145,52 @@ func TestInterarrivals(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamWithoutCrossTraffic(t *testing.T) {
+	// A contention-free, lossless channel delivers frames at exactly the
+	// pacing rate plus one airtime — the degenerate path where the lazy
+	// cross-traffic generator must never be consulted.
+	cfg := DefaultConfig()
+	cfg.CrossBusyRate = 0
+	cfg.CrossBusyMean = 0
+	cfg.LossProb = 0
+	arr, err := Stream(stats.NewRNG(1), cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arr {
+		want := float64(i)/cfg.FrameRate + cfg.TxTime
+		if math.Abs(a-want) > 1e-12 {
+			t.Fatalf("arrival %d = %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestStreamErrorPaths(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := Stream(rng, DefaultConfig(), -5); err == nil {
+		t.Error("negative frame count accepted")
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.TxTime = -1 },
+		func(c *Config) { c.FrameRate = -1 },
+		func(c *Config) { c.CrossBusyMean = -1 },
+		func(c *Config) { c.LossProb = 2 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Stream(rng, cfg, 10); err == nil {
+			t.Errorf("case %d: invalid config accepted by Stream", i)
+		}
+	}
+}
+
+func TestInterarrivalsEmpty(t *testing.T) {
+	if out := Interarrivals(nil); len(out) != 0 {
+		t.Errorf("empty arrivals produced %v", out)
+	}
+	if out := Interarrivals([]float64{2.5}); len(out) != 1 || out[0] != 2.5 {
+		t.Errorf("single arrival gaps = %v", out)
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"smartbadge/internal/stats"
 )
@@ -184,6 +185,51 @@ func StepTrace(rng *stats.RNG, rate1, rate2, decodeRateMax float64, n1, n2 int) 
 	add(rate2, n2)
 	tr.Duration = now
 	return tr, nil
+}
+
+// Validate checks the structural invariants the simulator relies on: at
+// least one frame; Seq equal to slice index (the simulator addresses frames
+// by index); finite, non-negative, non-decreasing arrivals; finite,
+// non-negative decode work; positive finite oracle rates; and a non-empty
+// rate-change schedule (the controller initialises from Changes[0]). Traces
+// built by this package's generators satisfy all of these; Validate exists
+// for traces arriving over the library boundary (CSV replay, hand-built
+// fixtures, fault injection).
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("workload: nil trace")
+	}
+	if len(t.Frames) == 0 {
+		return fmt.Errorf("workload: trace has no frames")
+	}
+	if len(t.Changes) == 0 {
+		return fmt.Errorf("workload: trace has no rate-change schedule")
+	}
+	prev := 0.0
+	for i, f := range t.Frames {
+		if f.Seq != i {
+			return fmt.Errorf("workload: frame %d has Seq %d (frames must be indexed in order)", i, f.Seq)
+		}
+		if math.IsNaN(f.Arrival) || math.IsInf(f.Arrival, 0) || f.Arrival < 0 {
+			return fmt.Errorf("workload: frame %d has invalid arrival time %v", i, f.Arrival)
+		}
+		if f.Arrival < prev {
+			return fmt.Errorf("workload: frame %d arrives at %v, before frame %d at %v", i, f.Arrival, i-1, prev)
+		}
+		prev = f.Arrival
+		if math.IsNaN(f.Work) || math.IsInf(f.Work, 0) || f.Work < 0 {
+			return fmt.Errorf("workload: frame %d has invalid decode work %v", i, f.Work)
+		}
+	}
+	for i, c := range t.Changes {
+		if !(c.ArrivalRate > 0) || math.IsInf(c.ArrivalRate, 0) {
+			return fmt.Errorf("workload: rate change %d has invalid arrival rate %v", i, c.ArrivalRate)
+		}
+		if !(c.DecodeRateMax > 0) || math.IsInf(c.DecodeRateMax, 0) {
+			return fmt.Errorf("workload: rate change %d has invalid decode rate %v", i, c.DecodeRateMax)
+		}
+	}
+	return nil
 }
 
 // Interarrivals returns the trace's interarrival gaps (first gap measured

@@ -34,7 +34,9 @@ import (
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
 	"smartbadge/internal/experiments"
+	"smartbadge/internal/faults"
 	"smartbadge/internal/obs"
+	"smartbadge/internal/policy"
 	"smartbadge/internal/sim"
 	"smartbadge/internal/stats"
 	"smartbadge/internal/tismdp"
@@ -237,6 +239,66 @@ type Options struct {
 	// nil (the default) is the zero-overhead path — results are bit-identical
 	// with and without it.
 	Obs *Observability
+	// Faults names a fault scenario to inject (see FaultScenarios). "" and
+	// "none" run the golden fault-free path, bit-identical to builds without
+	// the fault engine. Any other scenario perturbs a copy of the trace
+	// before the run and — unless DisableGuardrails is set — arms the
+	// graceful-degradation guardrails: the overload watchdog falling back to
+	// maximum performance, clamped rate estimates, and the DPM sleep veto.
+	Faults string
+	// FaultSeed seeds the fault injection stream independently of the
+	// workload seed. 0 selects 1.
+	FaultSeed uint64
+	// DisableGuardrails runs a fault scenario without the watchdog, clamps
+	// or DPM guard — the "how badly does the bare policy fail" comparison.
+	DisableGuardrails bool
+	// FaultReport, when non-nil, receives the injection summary of the run.
+	FaultReport *FaultReport
+}
+
+// FaultReport summarises what a fault scenario injected into the run.
+type FaultReport = faults.Report
+
+// FaultScenarios lists the scenario names Options.Faults accepts.
+func FaultScenarios() []string { return faults.Names() }
+
+// Validate checks the options for nonsense that would otherwise surface as a
+// confusing failure (or a panic) deep inside the simulator. Zero values are
+// valid: they select the documented defaults. Run calls this itself; it is
+// exported so front ends can validate before spending work building traces.
+func (o Options) Validate() error {
+	if o.Trace == nil {
+		return fmt.Errorf("smartbadge: Options.Trace is required")
+	}
+	if err := o.Trace.Validate(); err != nil {
+		return fmt.Errorf("smartbadge: invalid trace: %w", err)
+	}
+	if o.Application != "" {
+		if _, err := ParseApplication(string(o.Application)); err != nil {
+			return err
+		}
+	}
+	if o.Policy != "" {
+		if _, err := ParsePolicy(string(o.Policy)); err != nil {
+			return err
+		}
+	}
+	if o.DPM != "" {
+		if _, err := ParseDPM(string(o.DPM)); err != nil {
+			return err
+		}
+	}
+	if o.TimeoutS < 0 {
+		return fmt.Errorf("smartbadge: Options.TimeoutS must be non-negative, got %v", o.TimeoutS)
+	}
+	if o.BufferCap < 0 {
+		return fmt.Errorf("smartbadge: Options.BufferCap must be non-negative, got %d", o.BufferCap)
+	}
+	if !faults.ValidName(o.Faults) {
+		return fmt.Errorf("smartbadge: unknown fault scenario %q (want %s)",
+			o.Faults, strings.Join(faults.Names(), "|"))
+	}
+	return nil
 }
 
 // Observability bundles an optional metrics registry and event tracer.
@@ -260,11 +322,18 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewEventTracer returns a tracer writing JSONL to w.
 func NewEventTracer(w io.Writer) *EventTracer { return obs.NewTracer(w) }
 
+// faultStream derives the fault-injection RNG stream from the fault seed,
+// keeping it independent of the workload generation stream for the same seed.
+const faultStream = 0xFA017
+
 // Run simulates the workload under the chosen policies and returns the
-// energy/performance report.
+// energy/performance report. With Options.Faults set, the workload is
+// perturbed by the named scenario and (unless disabled) the
+// graceful-degradation guardrails are armed; without it the run is the
+// golden fault-free path.
 func Run(opts Options) (*Result, error) {
-	if opts.Trace == nil {
-		return nil, fmt.Errorf("smartbadge: Options.Trace is required")
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Application == "" {
 		opts.Application = AppMP3
@@ -294,10 +363,60 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return experiments.RunPolicyObs(kind, app, opts.Trace, pol, opts.Obs, func(cfg *sim.Config) {
+
+	trace := opts.Trace
+	var derate []sim.PowerDerate
+	faulted := false
+	if opts.Faults != "" {
+		sc, err := faults.ByName(opts.Faults, trace)
+		if err != nil {
+			return nil, err
+		}
+		if !sc.Empty() {
+			seed := opts.FaultSeed
+			if seed == 0 {
+				seed = 1
+			}
+			inj, err := faults.Apply(stats.NewRNG(seed).SplitAt(faultStream), trace, sc, opts.Obs)
+			if err != nil {
+				return nil, err
+			}
+			trace, derate, faulted = inj.Trace, inj.Derate, true
+			if opts.FaultReport != nil {
+				*opts.FaultReport = inj.Report
+			}
+		}
+	}
+
+	// Guardrails arm only on faulted runs, keeping the fault-free path
+	// byte-identical; DisableGuardrails exposes the unprotected behaviour.
+	var guard *policy.OverloadGuard
+	var dguard *dpm.Guard
+	if faulted && !opts.DisableGuardrails {
+		guard, err = policy.NewOverloadGuard(policy.DefaultGuardConfig())
+		if err != nil {
+			return nil, err
+		}
+		dguard, err = dpm.NewGuard(pol, dpm.DefaultGuardSpikeFactor, dpm.DefaultGuardHold)
+		if err != nil {
+			return nil, err
+		}
+		guard.OnTrip = func(float64) { dguard.NoteSuspicion() }
+		guard.Instrument(opts.Obs)
+		dguard.Instrument(opts.Obs)
+		pol = dguard
+	}
+
+	return experiments.RunPolicyObs(kind, app, trace, pol, opts.Obs, func(cfg *sim.Config) {
 		cfg.Badge = badge
 		cfg.BufferCap = opts.BufferCap
 		cfg.RecordTimeline = opts.RecordTimeline
+		cfg.Guard = guard
+		cfg.Derate = derate
+		if guard != nil {
+			cfg.Controller.ArrivalClamp = experiments.GridClamp(app.ArrivalGrid)
+			cfg.Controller.ServiceClamp = experiments.GridClamp(app.ServiceGrid)
+		}
 	})
 }
 
@@ -364,6 +483,9 @@ func FormatResult(r *Result) string {
 	fmt.Fprintf(&b, "mean decode clock: %.1f MHz\n", r.FreqTime.Mean())
 	fmt.Fprintf(&b, "freq/volt changes: %d\n", r.Reconfigurations)
 	fmt.Fprintf(&b, "sleep transitions: %d\n", r.Sleeps)
+	if r.GuardTrips > 0 {
+		fmt.Fprintf(&b, "watchdog:          %d trips, %.1f s in safe mode\n", r.GuardTrips, r.GuardEngagedS)
+	}
 	fmt.Fprintf(&b, "time by mode:      decode %.1fs, idle %.1fs, sleep %.1fs, wake %.1fs\n",
 		r.TimeInMode[0], r.TimeInMode[1], r.TimeInMode[2], r.TimeInMode[3])
 	fmt.Fprintf(&b, "energy by component:\n")
