@@ -1,0 +1,57 @@
+package smartbadge
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestWriteBenchArtifact regenerates BENCH_6.json, the committed benchmark
+// record for the threshold-cache and fleet work: cold vs warm characterisation
+// cost (the cache's raison d'être — warm must be far faster than cold) and
+// fleet throughput. Gated behind SMARTBADGE_BENCH_JSON so normal test runs
+// stay fast; CI sets the variable and uploads the file.
+//
+//	SMARTBADGE_BENCH_JSON=BENCH_6.json go test -run TestWriteBenchArtifact .
+func TestWriteBenchArtifact(t *testing.T) {
+	out := os.Getenv("SMARTBADGE_BENCH_JSON")
+	if out == "" {
+		t.Skip("set SMARTBADGE_BENCH_JSON=<path> to write the benchmark artifact")
+	}
+
+	cold := testing.Benchmark(BenchmarkCharacteriseCold)
+	warmMem := testing.Benchmark(benchWarmMem)
+	warmDisk := testing.Benchmark(benchWarmDisk)
+	fleetRes := testing.Benchmark(BenchmarkFleet)
+
+	coldNs := float64(cold.NsPerOp())
+	memNs := float64(warmMem.NsPerOp())
+	diskNs := float64(warmDisk.NsPerOp())
+	report := map[string]any{
+		"benchmarks": map[string]any{
+			"BenchmarkCharacteriseCold":      map[string]any{"ns_per_op": cold.NsPerOp(), "n": cold.N},
+			"BenchmarkCharacteriseWarm/mem":  map[string]any{"ns_per_op": warmMem.NsPerOp(), "n": warmMem.N},
+			"BenchmarkCharacteriseWarm/disk": map[string]any{"ns_per_op": warmDisk.NsPerOp(), "n": warmDisk.N},
+			"BenchmarkFleet":                 map[string]any{"ns_per_op": fleetRes.NsPerOp(), "n": fleetRes.N, "runs_per_sec": fleetRes.Extra["runs/s"]},
+		},
+		"speedup_warm_mem_vs_cold":  coldNs / memNs,
+		"speedup_warm_disk_vs_cold": coldNs / diskNs,
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+
+	// The acceptance bar for the cache: warm characterisation at least 5x
+	// faster than cold, on both tiers.
+	if coldNs < 5*memNs {
+		t.Errorf("warm mem hit %.0f ns vs cold %.0f ns: speedup %.1fx < 5x", memNs, coldNs, coldNs/memNs)
+	}
+	if coldNs < 5*diskNs {
+		t.Errorf("warm disk hit %.0f ns vs cold %.0f ns: speedup %.1fx < 5x", diskNs, coldNs, coldNs/diskNs)
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
 	"smartbadge/internal/experiments"
+	"smartbadge/internal/fleet"
 	"smartbadge/internal/perfmodel"
 	"smartbadge/internal/policy"
 	"smartbadge/internal/queue"
 	"smartbadge/internal/sa1100"
 	"smartbadge/internal/sim"
 	"smartbadge/internal/stats"
+	"smartbadge/internal/thrcache"
 	"smartbadge/internal/tismdp"
 	"smartbadge/internal/workload"
 )
@@ -711,6 +713,99 @@ func BenchmarkReplicateParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Threshold-cache and fleet benchmarks -----------------------------------
+
+// benchCacheConfig is the characterisation workload shared by the cold/warm
+// cache benchmarks: a 4-point grid at 1000 null windows, heavy enough that
+// the cache speedup is unmistakable, light enough for CI.
+func benchCacheConfig(b *testing.B) changepoint.Config {
+	b.Helper()
+	rates, err := changepoint.GeometricRates(10, 60, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := changepoint.DefaultConfig(rates)
+	cfg.CharacterisationWindows = 1000
+	return cfg
+}
+
+// BenchmarkCharacteriseCold measures the cache-miss cost: a full Monte Carlo
+// characterisation per iteration.
+func BenchmarkCharacteriseCold(b *testing.B) {
+	cfg := benchCacheConfig(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := changepoint.Characterise(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacteriseWarm measures the cache-hit cost for the same
+// configuration: "mem" hits the in-process LRU, "disk" loads and verifies
+// the on-disk entry through a fresh Cache each iteration (simulating a new
+// process reusing a populated cache directory).
+func BenchmarkCharacteriseWarm(b *testing.B) {
+	b.Run("mem", benchWarmMem)
+	b.Run("disk", benchWarmDisk)
+}
+
+func benchWarmMem(b *testing.B) {
+	cfg := benchCacheConfig(b)
+	c := thrcache.Memory()
+	if _, err := c.Characterise(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Characterise(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWarmDisk(b *testing.B) {
+	cfg := benchCacheConfig(b)
+	dir := b.TempDir()
+	seedCache, err := thrcache.New(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seedCache.Characterise(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := thrcache.New(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Characterise(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleet measures batch-simulation throughput: an 8-badge MP3 batch
+// per iteration, reported as simulations per wall second.
+func BenchmarkFleet(b *testing.B) {
+	runs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(fleet.Config{
+			Badges:   8,
+			Seed:     uint64(i) + 1,
+			Apps:     []string{"mp3"},
+			Policies: []experiments.PolicyKind{experiments.ExpAvg},
+			DPMs:     []string{"none", "renewal"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += rep.Agg.Runs
+	}
+	b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
 }
 
 // BenchmarkSimHotPath measures the simulator event loop alone — trace and

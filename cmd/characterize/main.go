@@ -21,6 +21,8 @@ import (
 	"smartbadge/internal/changepoint"
 	"smartbadge/internal/obs"
 	"smartbadge/internal/prof"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/thrcache"
 )
 
 func main() {
@@ -33,8 +35,9 @@ func main() {
 		windows    = flag.Int("windows", 4000, "null windows simulated per rate ratio")
 		windowSize = flag.Int("m", 100, "detection window size m")
 		seed       = flag.Uint64("seed", 0x5eed, "simulation seed")
-		hist       = flag.Bool("hist", false, "print the null-hypothesis statistic histograms")
+		hist       = flag.Bool("hist", false, "print the null-hypothesis statistic histograms (bypasses the threshold cache)")
 		workers    = flag.Int("j", 0, "worker goroutines for the characterisation (0 = GOMAXPROCS); results are identical for any value")
+		thrCache   = flag.String("thr-cache", "auto", "threshold cache: auto | off | DIR (auto = per-user cache dir)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
 		traceOut   = flag.String("trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
@@ -42,7 +45,7 @@ func main() {
 	flag.Parse()
 
 	err := prof.WithCPUProfile(*cpuprofile, func() error {
-		return run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *workers, *hist, *metricsOut, *traceOut)
+		return run(os.Stdout, *ratesFlag, *lo, *hi, *n, *confidence, *windows, *windowSize, *seed, *workers, *hist, *thrCache, *metricsOut, *traceOut)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
@@ -52,7 +55,7 @@ func main() {
 
 func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
 	confidence float64, windows, windowSize int, seed uint64, workers int, hist bool,
-	metricsOut, traceOut string) error {
+	thrCache, metricsOut, traceOut string) error {
 	rates, err := parseRates(ratesFlag, lo, hi, n)
 	if err != nil {
 		return err
@@ -75,7 +78,22 @@ func run(w io.Writer, ratesFlag string, lo, hi float64, n int,
 	}
 	cfg.Obs = art.Observability()
 
-	th, hists, err := changepoint.CharacteriseDetailed(cfg)
+	var (
+		th    *changepoint.Thresholds
+		hists map[float64]*stats.Histogram
+	)
+	if hist {
+		// Histograms only exist during a live characterisation; -hist always
+		// computes fresh and never consults the cache.
+		th, hists, err = changepoint.CharacteriseDetailed(cfg)
+	} else {
+		var cache *thrcache.Cache
+		cache, err = thrcache.Open(thrCache)
+		if err != nil {
+			return err
+		}
+		th, err = cache.Characterise(cfg)
+	}
 	if err != nil {
 		return err
 	}

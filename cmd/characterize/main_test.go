@@ -46,7 +46,7 @@ func TestParseRatesErrors(t *testing.T) {
 
 func TestRunCharacterise(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, true, "", ""); err != nil {
+	if err := run(&buf, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, true, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -55,13 +55,13 @@ func TestRunCharacterise(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
-	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, 0, false, "", ""); err == nil {
+	if err := run(io.Discard, "x,y", 0, 0, 0, 0.99, 300, 50, 1, 0, false, "off", "", ""); err == nil {
 		t.Error("bad rates accepted")
 	}
-	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, 0, false, "", ""); err == nil {
+	if err := run(io.Discard, "10,60", 0, 0, 0, 2.0, 300, 50, 1, 0, false, "off", "", ""); err == nil {
 		t.Error("bad confidence accepted")
 	}
-	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, -3, false, "", ""); err == nil {
+	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, -3, false, "off", "", ""); err == nil {
 		t.Error("negative worker count accepted")
 	}
 }
@@ -71,14 +71,44 @@ func TestRunCharacterise(t *testing.T) {
 // or on several workers.
 func TestRunWorkerCountInvariant(t *testing.T) {
 	var serial, fanned bytes.Buffer
-	if err := run(&serial, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 1, true, "", ""); err != nil {
+	if err := run(&serial, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 1, true, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&fanned, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 4, true, "", ""); err != nil {
+	if err := run(&fanned, "10,25,60", 0, 0, 0, 0.99, 300, 50, 7, 4, true, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != fanned.String() {
 		t.Error("-j 1 and -j 4 outputs differ")
+	}
+}
+
+// TestRunThresholdCacheTransparent checks the -thr-cache flag end to end:
+// a cold run populating a disk cache, a warm run served from it, and an
+// uncached run all print byte-identical thresholds.
+func TestRunThresholdCacheTransparent(t *testing.T) {
+	dir := t.TempDir()
+	var uncached, cold, warm bytes.Buffer
+	if err := run(&uncached, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, false, "off", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&cold, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, false, dir, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&warm, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, false, dir, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != uncached.String() {
+		t.Error("cold cached run differs from uncached run")
+	}
+	if warm.String() != uncached.String() {
+		t.Error("warm cached run differs from uncached run")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("cache dir holds %d entries, want 1", len(entries))
 	}
 }
 
@@ -88,7 +118,7 @@ func TestRunObservabilityArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	metrics := dir + "/char.metrics.json"
 	trace := dir + "/char.trace.jsonl"
-	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, false, metrics, trace); err != nil {
+	if err := run(io.Discard, "10,60", 0, 0, 0, 0.99, 300, 50, 1, 0, false, "off", metrics, trace); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(metrics)

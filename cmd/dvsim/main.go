@@ -19,7 +19,9 @@ import (
 	"strings"
 
 	"smartbadge"
+	"smartbadge/internal/experiments"
 	"smartbadge/internal/obs"
+	"smartbadge/internal/thrcache"
 )
 
 // runConfig carries the parsed command line into run.
@@ -36,6 +38,7 @@ type runConfig struct {
 	traceOut       string
 	faults         string
 	noGuardrails   bool
+	thrCache       string
 }
 
 func main() {
@@ -56,6 +59,7 @@ func main() {
 	flag.StringVar(&c.traceOut, "trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
 	flag.StringVar(&c.faults, "faults", "", "inject a fault scenario: "+strings.Join(smartbadge.FaultScenarios(), " | "))
 	flag.BoolVar(&c.noGuardrails, "no-guardrails", false, "run the fault scenario without watchdog/clamps/DPM guard")
+	flag.StringVar(&c.thrCache, "thr-cache", "auto", "threshold cache: auto | off | DIR (auto = per-user cache dir)")
 	flag.Parse()
 	if c.workers > 0 {
 		runtime.GOMAXPROCS(c.workers)
@@ -75,6 +79,11 @@ func main() {
 }
 
 func run(c runConfig) error {
+	cache, err := thrcache.Open(c.thrCache)
+	if err != nil {
+		return err
+	}
+	experiments.SetThresholdCache(cache)
 	application, err := smartbadge.ParseApplication(c.app)
 	if err != nil {
 		return err

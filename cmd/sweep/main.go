@@ -3,6 +3,7 @@
 //	sweep -what pareto        # energy/latency frontier (M/M/1, MDP, fixed)
 //	sweep -what wakeprob      # performance-constrained DPM sweep
 //	sweep -what resilience    # fault scenarios x policy configurations
+//	sweep -what fleet -fleet 24 -j 4   # batch of heterogeneous badge sims
 package main
 
 import (
@@ -12,16 +13,19 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"smartbadge/internal/experiments"
+	"smartbadge/internal/fleet"
 	"smartbadge/internal/obs"
 	"smartbadge/internal/prof"
+	"smartbadge/internal/thrcache"
 	"smartbadge/internal/units"
 )
 
 func main() {
 	var (
-		what = flag.String("what", "pareto", "sweep: pareto | wakeprob | resilience")
+		what = flag.String("what", "pareto", "sweep: pareto | wakeprob | resilience | fleet")
 		seed = flag.Uint64("seed", 1, "workload seed")
 		// faults filters the resilience sweep to one scenario ("" = all).
 		faultsFlag = flag.String("faults", "", "resilience sweep: only this fault scenario (default all)")
@@ -31,6 +35,8 @@ func main() {
 		// the combined workload); the default sweep crosses that point.
 		probs      = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
 		workers    = flag.Int("j", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); results are identical for any value")
+		fleetN     = flag.Int("fleet", 24, "fleet sweep: number of badge simulations in the batch")
+		thrCache   = flag.String("thr-cache", "auto", "threshold cache: auto | off | DIR (auto = per-user cache dir)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
 		traceOut   = flag.String("trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
@@ -38,7 +44,7 @@ func main() {
 	flag.Parse()
 
 	err := prof.WithCPUProfile(*cpuprofile, func() error {
-		return run(os.Stdout, *what, *seed, *probs, *faultsFlag, *workers, *metricsOut, *traceOut)
+		return run(os.Stdout, *what, *seed, *probs, *faultsFlag, *workers, *fleetN, *thrCache, *metricsOut, *traceOut)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -46,7 +52,12 @@ func main() {
 	}
 }
 
-func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, workers int, metricsOut, traceOut string) error {
+func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, workers, fleetN int, thrCache, metricsOut, traceOut string) error {
+	cache, err := thrcache.Open(thrCache)
+	if err != nil {
+		return err
+	}
+	experiments.SetThresholdCache(cache)
 	art, err := obs.OpenArtifacts(metricsOut, traceOut, obs.NewManifest("sweep", seed, workers, map[string]any{
 		"what":   what,
 		"probs":  probsFlag,
@@ -137,8 +148,49 @@ func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, wo
 			}
 		}
 		return art.Close()
+	case "fleet":
+		if fleetN <= 0 {
+			return fmt.Errorf("fleet sweep needs -fleet >= 1, got %d", fleetN)
+		}
+		stop := o.Registry().Timer("sweep.fleet").Start()
+		started := time.Now()
+		rep, err := fleet.Run(fleet.Config{Badges: fleetN, Seed: seed, Workers: workers})
+		elapsed := time.Since(started)
+		stop()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "badge,app,policy,dpm,energy_j,mean_delay_s,sim_time_s,avg_power_w,frames,sleeps")
+		for _, b := range rep.Badges {
+			fmt.Fprintf(w, "%d,%s,%s,%s,%.6f,%.6f,%.3f,%.6f,%d,%d\n",
+				b.Index, b.App, b.Policy, b.DPM, b.EnergyJ, b.MeanDelayS, b.SimTimeS, b.AvgPowerW,
+				b.FramesDecoded, b.Sleeps)
+			cPoints.Inc()
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind:   "sweep_point",
+					Comp:   fmt.Sprintf("badge%d/%s/%s/%s", b.Index, b.App, b.Policy, b.DPM),
+					Value:  b.EnergyJ,
+					DelayS: b.MeanDelayS,
+					Detail: fmt.Sprintf("frames=%d sleeps=%d", b.FramesDecoded, b.Sleeps),
+				})
+			}
+		}
+		// Aggregates ride along as CSV comments: still deterministic, still on
+		// stdout, ignorable by plotting scripts.
+		a := rep.Agg
+		fmt.Fprintf(w, "# runs=%d total_energy_j=%.6f total_sim_s=%.3f\n", a.Runs, a.TotalEnergyJ, a.TotalSimS)
+		fmt.Fprintf(w, "# energy_j p50=%.6f p90=%.6f p99=%.6f\n", a.EnergyP50J, a.EnergyP90J, a.EnergyP99J)
+		fmt.Fprintf(w, "# mean_delay_s p50=%.6f p90=%.6f p99=%.6f\n", a.DelayP50S, a.DelayP90S, a.DelayP99S)
+		// Throughput is timing, not result: it goes to stderr so stdout stays
+		// bit-identical across runs and worker counts.
+		if s := elapsed.Seconds(); s > 0 {
+			fmt.Fprintf(os.Stderr, "fleet: %d runs in %.2fs (%.2f runs/sec, %d workers)\n",
+				a.Runs, s, float64(a.Runs)/s, workers)
+		}
+		return art.Close()
 	default:
-		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob|resilience)", what)
+		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob|resilience|fleet)", what)
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 
 func TestRunPareto(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "pareto", 1, "", "", 0, "", ""); err != nil {
+	if err := run(&buf, "pareto", 1, "", "", 0, 0, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -25,7 +25,7 @@ func TestRunPareto(t *testing.T) {
 
 func TestRunWakeProb(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "wakeprob", 1, "1,0.1", "", 0, "", ""); err != nil {
+	if err := run(&buf, "wakeprob", 1, "1,0.1", "", 0, 0, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -35,13 +35,13 @@ func TestRunWakeProb(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "bogus", 1, "", "", 0, "", ""); err == nil {
+	if err := run(io.Discard, "bogus", 1, "", "", 0, 0, "off", "", ""); err == nil {
 		t.Error("unknown sweep accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "x", "", 0, "", ""); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "x", "", 0, 0, "off", "", ""); err == nil {
 		t.Error("bad probs accepted")
 	}
-	if err := run(io.Discard, "wakeprob", 1, "0", "", 0, "", ""); err == nil {
+	if err := run(io.Discard, "wakeprob", 1, "0", "", 0, 0, "off", "", ""); err == nil {
 		t.Error("zero probability accepted")
 	}
 }
@@ -50,14 +50,52 @@ func TestRunErrors(t *testing.T) {
 // is byte-identical whether the sweep runs serially or fanned out.
 func TestRunWakeProbWorkerCountInvariant(t *testing.T) {
 	var serial, fanned bytes.Buffer
-	if err := run(&serial, "wakeprob", 2, "1,0.1", "", 1, "", ""); err != nil {
+	if err := run(&serial, "wakeprob", 2, "1,0.1", "", 1, 0, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&fanned, "wakeprob", 2, "1,0.1", "", 4, "", ""); err != nil {
+	if err := run(&fanned, "wakeprob", 2, "1,0.1", "", 4, 0, "off", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != fanned.String() {
 		t.Error("-j 1 and -j 4 outputs differ")
+	}
+}
+
+// TestRunFleet checks the fleet sweep end to end: per-badge CSV rows, the
+// aggregate comment block, and -j invariance of the entire stdout stream —
+// including with a shared on-disk threshold cache.
+func TestRunFleet(t *testing.T) {
+	cacheDir := t.TempDir()
+	var serial, fanned bytes.Buffer
+	if err := run(&serial, "fleet", 5, "", "", 1, 4, cacheDir, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&fanned, "fleet", 5, "", "", 4, 4, cacheDir, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != fanned.String() {
+		t.Errorf("-j 1 and -j 4 fleet outputs differ:\n%s\nvs\n%s", serial.String(), fanned.String())
+	}
+	lines := strings.Split(strings.TrimSpace(serial.String()), "\n")
+	if !strings.HasPrefix(lines[0], "badge,app,policy,dpm,energy_j") {
+		t.Errorf("header = %q", lines[0])
+	}
+	var rows, comments int
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "#") {
+			comments++
+		} else {
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Errorf("badge rows = %d, want 4", rows)
+	}
+	if comments != 3 {
+		t.Errorf("aggregate comment lines = %d, want 3", comments)
+	}
+	if err := run(io.Discard, "fleet", 5, "", "", 1, 0, "off", "", ""); err == nil {
+		t.Error("zero-badge fleet accepted")
 	}
 }
 
@@ -67,7 +105,7 @@ func TestRunObservabilityArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	metrics := dir + "/sweep.metrics.json"
 	trace := dir + "/sweep.trace.jsonl"
-	if err := run(io.Discard, "wakeprob", 1, "1,0.1", "", 0, metrics, trace); err != nil {
+	if err := run(io.Discard, "wakeprob", 1, "1,0.1", "", 0, 0, "off", metrics, trace); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(metrics)

@@ -1,0 +1,78 @@
+package smartbadge
+
+import (
+	"testing"
+
+	"smartbadge/internal/changepoint"
+	"smartbadge/internal/device"
+	"smartbadge/internal/experiments"
+	"smartbadge/internal/policy"
+	"smartbadge/internal/sa1100"
+	"smartbadge/internal/sim"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/workload"
+)
+
+// TestIncrementalDetectorGoldenRun is the fault-free single-run regression
+// for the O(1) detector refactor: a full MP3 simulation under the
+// change-point policy must render a byte-identical report whether the
+// detectors use the incremental suffix sums (production path) or recompute
+// the window statistics naively at every check (reference path). Both runs
+// share one set of characterised thresholds, so the only difference is the
+// on-line sum maintenance.
+func TestIncrementalDetectorGoldenRun(t *testing.T) {
+	app := experiments.MP3App()
+	clips, err := workload.MP3Sequence("ACEFBD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(stats.NewRNG(1), clips, workload.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Changes[0]
+
+	characterise := func(grid []float64) (*changepoint.Thresholds, changepoint.Config) {
+		cfg := changepoint.DefaultConfig(grid)
+		cfg.CharacterisationWindows = 800
+		th, err := changepoint.Characterise(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return th, cfg
+	}
+	arrTh, arrCfg := characterise(app.ArrivalGrid)
+	srvTh, srvCfg := characterise(app.ServiceGrid)
+
+	report := func(naive bool) string {
+		mkEst := func(cfg changepoint.Config, th *changepoint.Thresholds, initial float64) policy.Estimator {
+			cfg.NaiveStats = naive
+			det, err := changepoint.NewDetector(cfg, th, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return policy.NewChangePoint(det)
+		}
+		ctrl, err := policy.NewController(sa1100.Default(), app.Curve, app.TargetDelay,
+			mkEst(arrCfg, arrTh, first.ArrivalRate),
+			mkEst(srvCfg, srvTh, first.DecodeRateMax), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.ResetRates(first.ArrivalRate, first.DecodeRateMax)
+		res, err := sim.Run(sim.Config{
+			Badge: device.SmartBadge(), Proc: sa1100.Default(),
+			Trace: tr, Controller: ctrl, Kind: workload.MP3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatResult(res)
+	}
+
+	fast := report(false)
+	slow := report(true)
+	if fast != slow {
+		t.Errorf("incremental and naive detector paths rendered different reports:\n--- incremental ---\n%s\n--- naive ---\n%s", fast, slow)
+	}
+}

@@ -21,12 +21,18 @@ import (
 // DeterministicPkgs names the packages (by final import-path element) whose
 // non-test code must be reproducible for a fixed seed. obs is included: its
 // instruments and traces feed diffable artifacts, and its two intentional
-// wall-clock sites carry //lint:allow directives.
+// wall-clock sites carry //lint:allow directives. fleet is included: its
+// batch reports must be bit-identical for any worker count, so throughput
+// timing lives in cmd/sweep. thrcache is deliberately NOT listed — it does
+// disk I/O (atomic temp+rename stores, checksum-verified loads) whose
+// success is environment-dependent; its determinism obligation is instead
+// enforced by its own tests (cached results bit-identical to fresh
+// characterisation).
 var DeterministicPkgs = map[string]bool{
 	"sim": true, "stats": true, "parallel": true, "changepoint": true,
 	"policy": true, "dpm": true, "tismdp": true, "markov": true,
 	"mdp": true, "queue": true, "workload": true, "obs": true,
-	"faults": true,
+	"faults": true, "fleet": true,
 }
 
 // forbiddenTimeFuncs are the wall-clock and timer entry points of package

@@ -14,3 +14,18 @@ func TestDeterministicPackage(t *testing.T) {
 func TestNonDeterministicPackageIgnored(t *testing.T) {
 	analysistest.Run(t, "testdata/freepkg", detcheck.Analyzer)
 }
+
+// TestMembership pins the determinism roster: fleet (batch reports must be
+// worker-count invariant) is covered; thrcache is deliberately exempt — its
+// disk I/O is environment-dependent and its bit-identity obligation is
+// enforced by its own tests instead.
+func TestMembership(t *testing.T) {
+	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet"} {
+		if !detcheck.DeterministicPkgs[pkg] {
+			t.Errorf("package %q missing from DeterministicPkgs", pkg)
+		}
+	}
+	if detcheck.DeterministicPkgs["thrcache"] {
+		t.Error("thrcache must stay exempt from detcheck (note-verified: disk I/O layer); its determinism is proven by its own bit-identity tests")
+	}
+}

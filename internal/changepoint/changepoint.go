@@ -12,8 +12,13 @@
 //	ln P(k) = (m − k)·ln(λn/λo) − (λn − λo)·Σ_{j=k+1..m} x_j
 //
 // The detection statistic for a candidate new rate λn is max_k ln P(k); only
-// the suffix sums of the window are needed, so one O(m) pass per candidate
-// suffices.
+// the suffix sums of the window are needed. On-line, the detector reads each
+// suffix sum in O(1) from the window's compensated prefix ring
+// (stats.Window.SuffixSum), filling a scratch once per check and sharing it
+// across all candidates — constant per-sample bookkeeping, no allocation.
+// Config.NaiveStats selects the reference O(m)-per-candidate backward-pass
+// recomputation instead (characterisation always uses the backward pass, so
+// thresholds are independent of the flag).
 //
 // Off-line characterisation. For each (λo, λn) pair from the predefined rate
 // set Λ, windows are simulated under the null hypothesis (all m samples at
@@ -93,6 +98,17 @@ type Config struct {
 	// simulated windows, and one "threshold" trace event per rate ratio.
 	// It does not affect the computed thresholds.
 	Obs *obs.Obs
+	// NaiveStats selects the reference statistic path for on-line detection:
+	// at every check the window is materialised and each candidate's suffix
+	// sums are recomputed by a backward O(m) pass (the pre-optimisation
+	// code). The default (false) is the incremental path: the window's
+	// compensated prefix ring serves every suffix sum in O(1), computed once
+	// per check and shared across candidates, with no allocation. The two
+	// paths differ only at rounding level in the statistic; the root golden
+	// regression asserts full-run byte-identity between them. Off-line
+	// characterisation ignores this field (and the threshold cache therefore
+	// excludes it from its key).
+	NaiveStats bool
 }
 
 // DefaultConfig returns the paper's operating point: m = 100, check every
@@ -216,6 +232,39 @@ func logLikelihoodMax(values []float64, oldRate, newRate float64) (best float64,
 		}
 	}
 	return best, bestK
+}
+
+// likelihoodMaxFromSuffixes is logLikelihoodMax with the suffix sums already
+// in hand: sufs[k] = Σ_{j=k+1..m} x_j. The forward scan with >= keeps the
+// largest k among tied maxima, matching the reference backward pass (which
+// keeps the first maximum it meets coming down from k = m-1).
+func likelihoodMaxFromSuffixes(sufs []float64, oldRate, newRate float64) (best float64, bestK int) {
+	m := len(sufs)
+	logRatio := math.Log(newRate / oldRate)
+	delta := newRate - oldRate
+	best = math.Inf(-1)
+	bestK = m
+	for k := 0; k < m; k++ {
+		lp := float64(m-k)*logRatio - delta*sufs[k]
+		if lp >= best {
+			best = lp
+			bestK = k
+		}
+	}
+	return best, bestK
+}
+
+// suffixSums fills the detector's reusable scratch with the n suffix sums of
+// the current window, each an O(1) prefix-ring read.
+func (d *Detector) suffixSums(n int) []float64 {
+	if cap(d.sufs) < n {
+		d.sufs = make([]float64, n)
+	}
+	sufs := d.sufs[:n]
+	for k := 0; k < n; k++ {
+		sufs[k] = d.window.SuffixSum(n - k)
+	}
+	return sufs
 }
 
 // Thresholds holds the characterised detection thresholds, keyed by rate
@@ -396,6 +445,79 @@ func (t *Thresholds) WindowSize() int { return t.windowSize }
 // Confidence returns the characterisation confidence level.
 func (t *Thresholds) Confidence() float64 { return t.confidence }
 
+// ThresholdSet is the portable, exact snapshot of a threshold table: the
+// characterised ratios in ascending order, each with its null-quantile
+// threshold. Snapshot and RestoreThresholds round-trip every float64 bit for
+// bit — the serialisation contract the content-addressed threshold cache
+// (internal/thrcache) is built on.
+type ThresholdSet struct {
+	WindowSize int
+	Confidence float64
+	Ratios     []float64
+	Values     []float64
+}
+
+// Snapshot exports the threshold table. The returned slices are fresh copies.
+func (t *Thresholds) Snapshot() ThresholdSet {
+	s := ThresholdSet{
+		WindowSize: t.windowSize,
+		Confidence: t.confidence,
+		Ratios:     make([]float64, len(t.ratios)),
+		Values:     make([]float64, len(t.ratios)),
+	}
+	copy(s.Ratios, t.ratios)
+	for i, r := range s.Ratios {
+		s.Values[i] = t.byRatio[ratioKey(r)]
+	}
+	return s
+}
+
+// RestoreThresholds rebuilds a threshold table from a snapshot, validating
+// the invariants Characterise guarantees (positive non-unit ratios, strictly
+// ascending with distinct quantisation keys, one value per ratio). The
+// restored table answers For, Ratios, WindowSize and Confidence identically
+// to the table the snapshot was taken from.
+func RestoreThresholds(s ThresholdSet) (*Thresholds, error) {
+	if s.WindowSize < 10 {
+		return nil, fmt.Errorf("changepoint: snapshot window size %d too small (need >= 10)", s.WindowSize)
+	}
+	if s.Confidence <= 0.5 || s.Confidence >= 1 {
+		return nil, fmt.Errorf("changepoint: snapshot confidence %v outside (0.5, 1)", s.Confidence)
+	}
+	if len(s.Ratios) == 0 {
+		return nil, fmt.Errorf("changepoint: snapshot has no ratios")
+	}
+	if len(s.Ratios) != len(s.Values) {
+		return nil, fmt.Errorf("changepoint: snapshot has %d ratios but %d values", len(s.Ratios), len(s.Values))
+	}
+	t := &Thresholds{
+		windowSize: s.WindowSize,
+		confidence: s.Confidence,
+		byRatio:    make(map[int64]float64, len(s.Ratios)),
+		ratios:     make([]float64, len(s.Ratios)),
+	}
+	copy(t.ratios, s.Ratios)
+	prev := math.Inf(-1)
+	for i, r := range s.Ratios {
+		if !(r > 0) || r == 1 || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("changepoint: invalid snapshot ratio %v", r)
+		}
+		if r <= prev {
+			return nil, fmt.Errorf("changepoint: snapshot ratios not strictly ascending (%v after %v)", r, prev)
+		}
+		prev = r
+		key := ratioKey(r)
+		if _, dup := t.byRatio[key]; dup {
+			return nil, fmt.Errorf("changepoint: snapshot ratios %v quantise to a duplicate key", r)
+		}
+		if v := s.Values[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("changepoint: non-finite snapshot threshold %v for ratio %v", v, r)
+		}
+		t.byRatio[key] = s.Values[i]
+	}
+	return t, nil
+}
+
 // Detection reports one detected rate change.
 type Detection struct {
 	// OldRate and NewRate are the grid rates before and after the change.
@@ -427,6 +549,11 @@ type Detector struct {
 	// sinceDetect counts clean post-detection samples while refinement is
 	// active; -1 means no refinement pending.
 	sinceDetect int
+	// sufs is the per-check suffix-sum scratch of the incremental path:
+	// sufs[k] = Σ_{j=k+1..m} x_j, filled once per check from the window's
+	// O(1) prefix ring and shared by every candidate rate. Reused across
+	// checks, so the steady-state Observe path never allocates.
+	sufs []float64
 
 	// Observability (nil when uninstrumented — the fast path).
 	tr      *obs.Tracer
@@ -573,38 +700,80 @@ func (d *Detector) Observe(x float64) (Detection, bool) {
 		return Detection{}, false
 	}
 	d.sinceCheck = 0
-	values := d.window.Values()
 	bestMargin := 0.0
 	var best Detection
+	var values []float64 // window contents; materialised lazily on the incremental path
 	found := false
-	for _, cand := range d.cfg.Rates {
-		if cand == d.current {
-			continue
-		}
-		th, err := d.thresholds.For(d.current, cand)
-		if err != nil {
-			// Unreachable when thresholds match the config; fail loudly.
-			panic(err)
-		}
-		s, k := logLikelihoodMax(values, d.current, cand)
-		if margin := s - th; s > th && margin > bestMargin {
-			suffix := values[k:]
-			mle := stats.MeanRate(suffix)
-			best = Detection{
-				OldRate:      d.current,
-				NewRate:      cand,
-				SampleIndex:  d.observed,
-				ChangeOffset: k,
-				Statistic:    s,
-				Threshold:    th,
-				MLERate:      mle,
+	if d.cfg.NaiveStats {
+		// Reference path: materialise the window and recompute every
+		// candidate's suffix sums with a backward pass.
+		values = d.window.Values()
+		for _, cand := range d.cfg.Rates {
+			if cand == d.current {
+				continue
 			}
-			bestMargin = margin
-			found = true
+			th, err := d.thresholds.For(d.current, cand)
+			if err != nil {
+				// Unreachable when thresholds match the config; fail loudly.
+				panic(err)
+			}
+			s, k := logLikelihoodMax(values, d.current, cand)
+			if margin := s - th; s > th && margin > bestMargin {
+				suffix := values[k:]
+				mle := stats.MeanRate(suffix)
+				best = Detection{
+					OldRate:      d.current,
+					NewRate:      cand,
+					SampleIndex:  d.observed,
+					ChangeOffset: k,
+					Statistic:    s,
+					Threshold:    th,
+					MLERate:      mle,
+				}
+				bestMargin = margin
+				found = true
+			}
+		}
+	} else {
+		// Incremental path: every suffix sum is an O(1) read of the window's
+		// compensated prefix ring, filled once and shared across candidates —
+		// no allocation, no per-candidate re-summation.
+		n := d.window.Len()
+		sufs := d.suffixSums(n)
+		for _, cand := range d.cfg.Rates {
+			if cand == d.current {
+				continue
+			}
+			th, err := d.thresholds.For(d.current, cand)
+			if err != nil {
+				// Unreachable when thresholds match the config; fail loudly.
+				panic(err)
+			}
+			s, k := likelihoodMaxFromSuffixes(sufs, d.current, cand)
+			if margin := s - th; s > th && margin > bestMargin {
+				var mle float64
+				if suf := sufs[k]; suf > 0 {
+					mle = float64(n-k) / suf
+				}
+				best = Detection{
+					OldRate:      d.current,
+					NewRate:      cand,
+					SampleIndex:  d.observed,
+					ChangeOffset: k,
+					Statistic:    s,
+					Threshold:    th,
+					MLERate:      mle,
+				}
+				bestMargin = margin
+				found = true
+			}
 		}
 	}
 	if !found {
 		return Detection{}, false
+	}
+	if values == nil {
+		values = d.window.Values() // detections are rare; allocate only here
 	}
 	// Adopt the new rate and keep only the post-change samples. When the
 	// suffix is long enough for a meaningful estimate, the suffix MLE picks

@@ -8,8 +8,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 
 	"smartbadge/internal/changepoint"
 	"smartbadge/internal/device"
@@ -20,6 +19,7 @@ import (
 	"smartbadge/internal/sa1100"
 	"smartbadge/internal/sim"
 	"smartbadge/internal/stats"
+	"smartbadge/internal/thrcache"
 	"smartbadge/internal/workload"
 )
 
@@ -111,35 +111,33 @@ func MPEGApp() App {
 	}
 }
 
-// thresholdCache memoises the expensive off-line characterisation per rate
-// grid, shared by every experiment and benchmark in the process. Entries are
-// singleflight: concurrent replicas asking for the same grid block on one
-// characterisation instead of duplicating it.
-var thresholdCache sync.Map // string key -> *thresholdEntry
+// thresholdCache memoises the expensive off-line characterisation per
+// detector configuration, shared by every experiment and benchmark in the
+// process. It defaults to a memory-only thrcache (in-process LRU plus
+// single-flight dedup); cmd binaries swap in a disk-backed cache via
+// SetThresholdCache so characterisations persist across invocations.
+var thresholdCache atomic.Pointer[thrcache.Cache]
 
-type thresholdEntry struct {
-	once sync.Once
-	th   *changepoint.Thresholds
-	err  error
+func init() { thresholdCache.Store(thrcache.Memory()) }
+
+// SetThresholdCache replaces the process-wide threshold cache. Passing nil
+// resets to a fresh memory-only cache.
+func SetThresholdCache(c *thrcache.Cache) {
+	if c == nil {
+		c = thrcache.Memory()
+	}
+	thresholdCache.Store(c)
 }
 
-func gridKey(rates []float64) string {
-	s := make([]float64, len(rates))
-	copy(s, rates)
-	sort.Float64s(s)
-	return fmt.Sprint(s)
-}
+// ThresholdCache returns the threshold cache currently in use.
+func ThresholdCache() *thrcache.Cache { return thresholdCache.Load() }
 
 // thresholdsFor returns (characterising on first use) the detection
 // thresholds for a rate grid under the paper's default detector settings.
 func thresholdsFor(rates []float64) (*changepoint.Thresholds, changepoint.Config, error) {
 	cfg := changepoint.DefaultConfig(rates)
-	v, _ := thresholdCache.LoadOrStore(gridKey(rates), &thresholdEntry{})
-	entry := v.(*thresholdEntry)
-	entry.once.Do(func() {
-		entry.th, entry.err = changepoint.Characterise(cfg)
-	})
-	return entry.th, cfg, entry.err
+	th, err := thresholdCache.Load().Characterise(cfg)
+	return th, cfg, err
 }
 
 // ExpAvgGain is the exponential-average gain used in the table comparisons

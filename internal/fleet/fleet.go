@@ -1,0 +1,274 @@
+// Package fleet runs batches of heterogeneous badge simulations — the
+// fleet-scale experiment layer. A batch of N badges is a pure function of
+// (Config, N): badge i's workload mix, policy and DPM are derived from the
+// index by cycling through the configured axes, and its random stream is
+// stats.RNG.SplitAt(i) off the batch seed, so every badge is reproducible in
+// isolation and the batch result is bit-identical for any worker count.
+//
+// Execution is sharded, not work-stolen: worker w of W simulates badges
+// w, w+W, w+2W, … and owns one sim.Scratch recycled across its runs (event
+// heap, energy accumulators, power vectors — the per-run allocations that
+// dominate small simulations). Results land in an index-addressed slice and
+// aggregates are folded serially afterwards, which is what makes the report
+// independent of scheduling and of W.
+//
+// fleet is part of the determinism contract (see
+// internal/analysis/detcheck): no wall clock, no ambient math/rand, no
+// map-order dependence. Throughput measurement (runs/sec) therefore lives in
+// cmd/sweep, outside the deterministic core.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smartbadge/internal/device"
+	"smartbadge/internal/dpm"
+	"smartbadge/internal/experiments"
+	"smartbadge/internal/parallel"
+	"smartbadge/internal/sim"
+	"smartbadge/internal/stats"
+	"smartbadge/internal/workload"
+)
+
+// Config describes a batch. Zero values for the axis slices select the
+// default heterogeneous mix.
+type Config struct {
+	// Badges is the number of simulations to run. Required.
+	Badges int
+	// Seed is the batch master seed; badge i derives its stream with
+	// SplitAt(i), so the same (Seed, i) pair reproduces the same badge
+	// regardless of Badges or Workers.
+	Seed uint64
+	// Workers caps the worker pool; <= 0 selects GOMAXPROCS. The report is
+	// bit-identical for every value.
+	Workers int
+	// Apps cycles the workload mix across badges. Valid entries: "mp3",
+	// "mpeg", "mixed". Default: all three.
+	Apps []string
+	// Policies cycles the DVS policy axis. Default: ChangePoint and ExpAvg.
+	Policies []experiments.PolicyKind
+	// DPMs cycles the power-management axis. Valid entries: "none",
+	// "renewal". Default: both.
+	DPMs []string
+}
+
+// DefaultApps is the default workload axis.
+func DefaultApps() []string { return []string{"mp3", "mpeg", "mixed"} }
+
+// DefaultPolicies is the default DVS-policy axis.
+func DefaultPolicies() []experiments.PolicyKind {
+	return []experiments.PolicyKind{experiments.ChangePoint, experiments.ExpAvg}
+}
+
+// DefaultDPMs is the default power-management axis.
+func DefaultDPMs() []string { return []string{"none", "renewal"} }
+
+func (c *Config) normalise() error {
+	if c.Badges <= 0 {
+		return fmt.Errorf("fleet: Badges must be positive, got %d", c.Badges)
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = DefaultApps()
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = DefaultPolicies()
+	}
+	if len(c.DPMs) == 0 {
+		c.DPMs = DefaultDPMs()
+	}
+	for _, a := range c.Apps {
+		if a != "mp3" && a != "mpeg" && a != "mixed" {
+			return fmt.Errorf("fleet: unknown app %q (want mp3, mpeg or mixed)", a)
+		}
+	}
+	for _, d := range c.DPMs {
+		if d != "none" && d != "renewal" {
+			return fmt.Errorf("fleet: unknown DPM %q (want none or renewal)", d)
+		}
+	}
+	return nil
+}
+
+// Spec is the derived configuration of one badge: a pure function of the
+// batch config and the badge index.
+type Spec struct {
+	Index  int
+	App    string
+	Policy experiments.PolicyKind
+	DPM    string
+}
+
+// SpecFor derives badge i's configuration by mixed-radix decomposition of
+// the index over the three axes, so consecutive badges differ in the fastest
+// axis (app) first.
+func (c *Config) SpecFor(i int) Spec {
+	nA, nP := len(c.Apps), len(c.Policies)
+	return Spec{
+		Index:  i,
+		App:    c.Apps[i%nA],
+		Policy: c.Policies[(i/nA)%nP],
+		DPM:    c.DPMs[(i/(nA*nP))%len(c.DPMs)],
+	}
+}
+
+// BadgeResult is the per-badge outcome: the spec that produced it plus the
+// headline metrics of its run.
+type BadgeResult struct {
+	Spec
+	EnergyJ       float64
+	MeanDelayS    float64
+	SimTimeS      float64
+	AvgPowerW     float64
+	FramesDecoded int
+	Sleeps        int
+}
+
+// Aggregate summarises a batch with streaming totals and nearest-rank
+// percentiles over the per-badge energy and mean-delay distributions.
+type Aggregate struct {
+	Runs         int
+	TotalEnergyJ float64
+	TotalSimS    float64
+	EnergyP50J   float64
+	EnergyP90J   float64
+	EnergyP99J   float64
+	DelayP50S    float64
+	DelayP90S    float64
+	DelayP99S    float64
+}
+
+// Report is the full batch outcome.
+type Report struct {
+	Badges []BadgeResult
+	Agg    Aggregate
+}
+
+// Run executes the batch and returns the index-ordered per-badge results
+// plus aggregates. The report is bit-identical for any Workers value.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	n := cfg.Badges
+	w := parallel.Workers(cfg.Workers)
+	if w > n {
+		w = n
+	}
+	results := make([]BadgeResult, n)
+	// One task per shard (not per badge): shard s owns badges s, s+w, …,
+	// and a private Scratch recycled across them. parallel.ForEach with
+	// n == workers runs each shard exactly once.
+	err := parallel.ForEach(w, w, func(shard int) error {
+		sc := sim.NewScratch()
+		for i := shard; i < n; i += w {
+			r, err := runBadge(&cfg, i, sc)
+			if err != nil {
+				return fmt.Errorf("fleet: badge %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Badges: results, Agg: aggregate(results)}, nil
+}
+
+// runBadge simulates one badge on the given scratch.
+func runBadge(cfg *Config, i int, sc *sim.Scratch) (BadgeResult, error) {
+	spec := cfg.SpecFor(i)
+	rng := stats.NewRNG(cfg.Seed).SplitAt(uint64(i))
+
+	var (
+		tr  *workload.Trace
+		app experiments.App
+		err error
+	)
+	switch spec.App {
+	case "mp3":
+		var clips []workload.Clip
+		clips, err = workload.MP3Sequence("ACEFBD")
+		if err == nil {
+			tr, err = workload.Generate(rng, clips, workload.GenerateOptions{})
+		}
+		app = experiments.MP3App()
+	case "mpeg":
+		tr, err = workload.Generate(rng, workload.MPEGClips(), workload.GenerateOptions{})
+		app = experiments.MPEGApp()
+	case "mixed":
+		tr, err = experiments.Table5Workload(rng.Uint64())
+		app = experiments.MixedApp()
+	}
+	if err != nil {
+		return BadgeResult{}, err
+	}
+
+	var pol dpm.Policy
+	switch spec.DPM {
+	case "none":
+		pol = dpm.AlwaysOn{}
+	case "renewal":
+		costs := dpm.CostsForBadge(device.SmartBadge(), device.Standby)
+		pol, err = dpm.NewRenewalTimeout(tr.IdleModel(), costs, device.Standby, 0)
+		if err != nil {
+			return BadgeResult{}, err
+		}
+	}
+
+	res, err := experiments.RunPolicyWith(spec.Policy, app, tr, pol, func(c *sim.Config) {
+		c.Scratch = sc
+	})
+	if err != nil {
+		return BadgeResult{}, err
+	}
+	return BadgeResult{
+		Spec:          spec,
+		EnergyJ:       res.EnergyJ,
+		MeanDelayS:    res.FrameDelay.Mean(),
+		SimTimeS:      res.SimTime,
+		AvgPowerW:     res.AvgPowerW,
+		FramesDecoded: res.FramesDecoded,
+		Sleeps:        res.Sleeps,
+	}, nil
+}
+
+// aggregate folds the index-ordered results serially — worker-count
+// independent by construction.
+func aggregate(results []BadgeResult) Aggregate {
+	a := Aggregate{Runs: len(results)}
+	energies := make([]float64, len(results))
+	delays := make([]float64, len(results))
+	for i, r := range results {
+		a.TotalEnergyJ += r.EnergyJ
+		a.TotalSimS += r.SimTimeS
+		energies[i] = r.EnergyJ
+		delays[i] = r.MeanDelayS
+	}
+	sort.Float64s(energies)
+	sort.Float64s(delays)
+	a.EnergyP50J = percentile(energies, 0.50)
+	a.EnergyP90J = percentile(energies, 0.90)
+	a.EnergyP99J = percentile(energies, 0.99)
+	a.DelayP50S = percentile(delays, 0.50)
+	a.DelayP90S = percentile(delays, 0.90)
+	a.DelayP99S = percentile(delays, 0.99)
+	return a
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

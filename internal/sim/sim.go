@@ -118,6 +118,40 @@ type Config struct {
 	// work). All draw inside [StartS, EndS) is multiplied by Factor. Windows
 	// must be non-overlapping; nil leaves the power model untouched.
 	Derate []PowerDerate
+	// Scratch, when non-nil, recycles the hot-path allocations (event heap,
+	// per-component energy accumulators, power vectors) from a previous run —
+	// the sync.Pool-style per-worker reuse the fleet batch engine
+	// (internal/fleet) relies on. Results are bit-identical with and without
+	// a Scratch; a Scratch must never be used by two simulations
+	// concurrently. nil allocates fresh state as always.
+	Scratch *Scratch
+}
+
+// Scratch holds reusable per-run simulator state. A zero Scratch is ready to
+// use; it warms up over the first run and is handed back (with its grown
+// capacities) when Run completes. One Scratch serves any sequence of
+// configurations — capacities adapt — but only one run at a time.
+type Scratch struct {
+	events     eventHeap
+	energy     []float64
+	lastEnergy []float64
+	power      [numModes][]float64
+}
+
+// NewScratch returns an empty scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// resizeZero returns buf resized to n and zeroed, reallocating only when the
+// capacity is insufficient.
+func resizeZero(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // PowerDerate scales every component's power draw by Factor during
@@ -377,7 +411,21 @@ func New(cfg Config) (*Simulator, error) {
 		pendingArrival: -1,
 		derate:         derate,
 	}
-	s.energyComp = make([]float64, len(s.badge))
+	if sc := cfg.Scratch; sc != nil {
+		// Recycle the previous run's allocations. The event heap is emptied,
+		// energy accumulators are zeroed, and power vectors of the right
+		// length are adopted as raw capacity: powerOK starts false for every
+		// mode, so modePower rebuilds each vector before its first read.
+		s.events = sc.events[:0]
+		s.energyComp = resizeZero(sc.energy, len(s.badge))
+		for m := range sc.power {
+			if len(sc.power[m]) == len(s.badge) {
+				s.powerVec[m] = sc.power[m]
+			}
+		}
+	} else {
+		s.energyComp = make([]float64, len(s.badge))
+	}
 	s.wlanIdx, s.sramIdx, s.dramIdx = -1, -1, -1
 	for i, c := range s.badge {
 		switch c.Name {
@@ -395,7 +443,11 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Obs != nil {
 		if s.tr = cfg.Obs.Tracer(); s.tr != nil {
 			s.tr.SetClock(func() float64 { return s.now })
-			s.lastEnergy = make([]float64, len(s.badge))
+			if sc := cfg.Scratch; sc != nil {
+				s.lastEnergy = resizeZero(sc.lastEnergy, len(s.badge))
+			} else {
+				s.lastEnergy = make([]float64, len(s.badge))
+			}
 		}
 		if reg := cfg.Obs.Registry(); reg != nil {
 			s.mDelay = reg.Histogram("sim.frame_delay_s", delayBuckets)
@@ -798,6 +850,14 @@ func (s *Simulator) Run() (_ *Result, err error) {
 		s.tr.Emit(obs.Event{T: s.now, Kind: "run_end", Value: s.res.EnergyJ})
 	}
 	s.publishMetrics()
+	if sc := s.cfg.Scratch; sc != nil {
+		// Hand the (possibly grown) buffers back so the next run on this
+		// scratch starts from their high-water capacity.
+		sc.events = s.events
+		sc.energy = s.energyComp
+		sc.lastEnergy = s.lastEnergy
+		sc.power = s.powerVec
+	}
 	return &s.res, nil
 }
 
