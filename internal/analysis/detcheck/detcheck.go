@@ -27,7 +27,11 @@ import (
 // disk I/O (atomic temp+rename stores, checksum-verified loads) whose
 // success is environment-dependent; its determinism obligation is instead
 // enforced by its own tests (cached results bit-identical to fresh
-// characterisation).
+// characterisation). server is likewise NOT listed: it is the transport
+// layer (wall-clock latency metrics, scheduling, sockets); its determinism
+// obligation — identical request bodies produce byte-identical response
+// bodies — is enforced by its own tests, while everything it calls into
+// (parallel, fleet, changepoint) stays under this analyzer.
 var DeterministicPkgs = map[string]bool{
 	"sim": true, "stats": true, "parallel": true, "changepoint": true,
 	"policy": true, "dpm": true, "tismdp": true, "markov": true,

@@ -18,14 +18,19 @@ func TestNonDeterministicPackageIgnored(t *testing.T) {
 // TestMembership pins the determinism roster: fleet (batch reports must be
 // worker-count invariant) is covered; thrcache is deliberately exempt — its
 // disk I/O is environment-dependent and its bit-identity obligation is
-// enforced by its own tests instead.
+// enforced by its own tests instead — and so is server, the transport layer
+// (wall-clock latency metrics, sockets), whose identical-request ⇒
+// byte-identical-response obligation is likewise pinned by its own tests.
 func TestMembership(t *testing.T) {
-	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet"} {
+	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet", "parallel"} {
 		if !detcheck.DeterministicPkgs[pkg] {
 			t.Errorf("package %q missing from DeterministicPkgs", pkg)
 		}
 	}
 	if detcheck.DeterministicPkgs["thrcache"] {
 		t.Error("thrcache must stay exempt from detcheck (note-verified: disk I/O layer); its determinism is proven by its own bit-identity tests")
+	}
+	if detcheck.DeterministicPkgs["server"] {
+		t.Error("server must stay exempt from detcheck (transport layer); its response byte-identity is proven by its own tests")
 	}
 }

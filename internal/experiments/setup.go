@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"smartbadge/internal/changepoint"
@@ -41,6 +42,40 @@ const (
 
 // Policies lists the comparison set in the paper's column order.
 func Policies() []PolicyKind { return []PolicyKind{Ideal, ChangePoint, ExpAvg, Max} }
+
+// WireName returns the lowercase machine name of a policy — the spelling
+// used by CLI flags and the serving API ("ideal", "changepoint", "expavg",
+// "max") — as opposed to String, which renders the paper's column headings.
+func (p PolicyKind) WireName() string {
+	switch p {
+	case Ideal:
+		return "ideal"
+	case ChangePoint:
+		return "changepoint"
+	case ExpAvg:
+		return "expavg"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("policykind(%d)", int(p))
+	}
+}
+
+// ParsePolicyKind is the inverse of WireName (case-insensitive).
+func ParsePolicyKind(s string) (PolicyKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ideal":
+		return Ideal, nil
+	case "changepoint":
+		return ChangePoint, nil
+	case "expavg":
+		return ExpAvg, nil
+	case "max":
+		return Max, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown policy %q (want ideal|changepoint|expavg|max)", s)
+	}
+}
 
 // String implements fmt.Stringer.
 func (p PolicyKind) String() string {

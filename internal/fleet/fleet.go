@@ -19,6 +19,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -91,6 +92,17 @@ func (c *Config) normalise() error {
 	return nil
 }
 
+// Validate checks cfg without running it and returns the normalised copy
+// (defaults filled in). Request-scoped callers — the serving daemon — use it
+// to turn config typos into client errors before any admission or engine
+// work happens.
+func Validate(cfg Config) (Config, error) {
+	if err := cfg.normalise(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
 // Spec is the derived configuration of one badge: a pure function of the
 // batch config and the badge index.
 type Spec struct {
@@ -102,14 +114,27 @@ type Spec struct {
 
 // SpecFor derives badge i's configuration by mixed-radix decomposition of
 // the index over the three axes, so consecutive badges differ in the fastest
-// axis (app) first.
+// axis (app) first. SpecFor is self-normalising: an axis slice that is still
+// empty (normalise has not run yet) falls back to the same default it would
+// be filled with, instead of dividing by zero, so the derivation is safe on
+// any Config and agrees with what Run will execute.
 func (c *Config) SpecFor(i int) Spec {
-	nA, nP := len(c.Apps), len(c.Policies)
+	apps, pols, dpms := c.Apps, c.Policies, c.DPMs
+	if len(apps) == 0 {
+		apps = DefaultApps()
+	}
+	if len(pols) == 0 {
+		pols = DefaultPolicies()
+	}
+	if len(dpms) == 0 {
+		dpms = DefaultDPMs()
+	}
+	nA, nP := len(apps), len(pols)
 	return Spec{
 		Index:  i,
-		App:    c.Apps[i%nA],
-		Policy: c.Policies[(i/nA)%nP],
-		DPM:    c.DPMs[(i/(nA*nP))%len(c.DPMs)],
+		App:    apps[i%nA],
+		Policy: pols[(i/nA)%nP],
+		DPM:    dpms[(i/(nA*nP))%len(dpms)],
 	}
 }
 
@@ -148,6 +173,16 @@ type Report struct {
 // Run executes the batch and returns the index-ordered per-badge results
 // plus aggregates. The report is bit-identical for any Workers value.
 func Run(cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation for request-scoped callers
+// (the serving daemon): every shard checks ctx between badges, so a
+// cancelled request aborts after the badge currently simulating finishes —
+// not after the whole batch — and the returned error satisfies
+// errors.Is(err, ctx.Err()). A run that is not cancelled is bit-identical
+// to Run; cancellation never yields a partial report.
+func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.normalise(); err != nil {
 		return nil, err
 	}
@@ -158,11 +193,14 @@ func Run(cfg Config) (*Report, error) {
 	}
 	results := make([]BadgeResult, n)
 	// One task per shard (not per badge): shard s owns badges s, s+w, …,
-	// and a private Scratch recycled across them. parallel.ForEach with
+	// and a private Scratch recycled across them. parallel.ForEachCtx with
 	// n == workers runs each shard exactly once.
-	err := parallel.ForEach(w, w, func(shard int) error {
+	err := parallel.ForEachCtx(ctx, w, w, func(shard int) error {
 		sc := sim.NewScratch()
 		for i := shard; i < n; i += w {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r, err := runBadge(&cfg, i, sc)
 			if err != nil {
 				return fmt.Errorf("fleet: badge %d: %w", i, err)
@@ -174,7 +212,11 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Badges: results, Agg: aggregate(results)}, nil
+	agg, err := aggregate(results)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Badges: results, Agg: agg}, nil
 }
 
 // runBadge simulates one badge on the given scratch.
@@ -236,12 +278,21 @@ func runBadge(cfg *Config, i int, sc *sim.Scratch) (BadgeResult, error) {
 }
 
 // aggregate folds the index-ordered results serially — worker-count
-// independent by construction.
-func aggregate(results []BadgeResult) Aggregate {
+// independent by construction. Non-finite inputs are rejected before
+// sorting: sort.Float64s leaves the position of NaN unspecified, so a single
+// NaN badge metric would silently void the "bit-identical for any worker
+// count" percentile guarantee (and Inf poisons the running totals), which is
+// exactly the kind of corruption that must fail loudly instead.
+func aggregate(results []BadgeResult) (Aggregate, error) {
 	a := Aggregate{Runs: len(results)}
 	energies := make([]float64, len(results))
 	delays := make([]float64, len(results))
 	for i, r := range results {
+		if !finite(r.EnergyJ) || !finite(r.MeanDelayS) {
+			return Aggregate{}, fmt.Errorf(
+				"fleet: badge %d (%s/%s/%s) produced a non-finite metric (energy %v J, mean delay %v s); refusing to aggregate — NaN ordering under sort would make percentiles scheduling-dependent",
+				r.Index, r.App, r.Policy, r.DPM, r.EnergyJ, r.MeanDelayS)
+		}
 		a.TotalEnergyJ += r.EnergyJ
 		a.TotalSimS += r.SimTimeS
 		energies[i] = r.EnergyJ
@@ -255,7 +306,12 @@ func aggregate(results []BadgeResult) Aggregate {
 	a.DelayP50S = percentile(delays, 0.50)
 	a.DelayP90S = percentile(delays, 0.90)
 	a.DelayP99S = percentile(delays, 0.99)
-	return a
+	return a, nil
+}
+
+// finite reports whether x is neither NaN nor ±Inf.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // percentile is the nearest-rank percentile of an ascending-sorted slice.

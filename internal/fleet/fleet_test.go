@@ -1,8 +1,13 @@
 package fleet
 
 import (
+	"context"
+	"errors"
+	"math"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"smartbadge/internal/experiments"
 )
@@ -126,6 +131,84 @@ func TestDefaultMixCoversAllAxes(t *testing.T) {
 	}
 	if rep.Agg.EnergyP50J > rep.Agg.EnergyP90J || rep.Agg.EnergyP90J > rep.Agg.EnergyP99J {
 		t.Errorf("energy percentiles not monotone: %+v", rep.Agg)
+	}
+}
+
+// TestSpecForSelfNormalises is the regression for the exported-method
+// divide-by-zero: SpecFor on a Config whose axis slices are still empty
+// (normalise has not run) must derive the same specs the defaults would,
+// instead of panicking.
+func TestSpecForSelfNormalises(t *testing.T) {
+	raw := Config{Badges: 12, Seed: 3}
+	norm := Config{Badges: 12, Seed: 3}
+	if err := norm.normalise(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		got := raw.SpecFor(i) // used to panic: index out of range / divide by zero
+		if want := norm.SpecFor(i); got != want {
+			t.Errorf("SpecFor(%d) on raw config = %+v, want normalised %+v", i, got, want)
+		}
+	}
+	// Partially filled axes keep their values and only the empty ones default.
+	partial := Config{Badges: 4, Apps: []string{"mpeg"}}
+	if got := partial.SpecFor(0); got.App != "mpeg" || got.Policy != DefaultPolicies()[0] || got.DPM != DefaultDPMs()[0] {
+		t.Errorf("partial SpecFor(0) = %+v", got)
+	}
+}
+
+// TestAggregateRejectsNonFinite is the regression for the NaN percentile
+// hazard: sort.Float64s does not specify where NaN lands, so aggregation
+// must fail loudly on NaN/Inf badge metrics rather than silently break the
+// bit-identical-for-any-worker-count guarantee.
+func TestAggregateRejectsNonFinite(t *testing.T) {
+	good := func(i int) BadgeResult {
+		return BadgeResult{Spec: Spec{Index: i, App: "mp3", DPM: "none"}, EnergyJ: float64(i + 1), MeanDelayS: 0.01}
+	}
+	results := []BadgeResult{good(0), good(1), good(2)}
+	if _, err := aggregate(results); err != nil {
+		t.Fatalf("finite results rejected: %v", err)
+	}
+	for name, poison := range map[string]BadgeResult{
+		"NaN energy":  {Spec: Spec{Index: 1}, EnergyJ: math.NaN(), MeanDelayS: 0.01},
+		"+Inf energy": {Spec: Spec{Index: 1}, EnergyJ: math.Inf(1), MeanDelayS: 0.01},
+		"NaN delay":   {Spec: Spec{Index: 1}, EnergyJ: 1, MeanDelayS: math.NaN()},
+		"-Inf delay":  {Spec: Spec{Index: 1}, EnergyJ: 1, MeanDelayS: math.Inf(-1)},
+	} {
+		bad := []BadgeResult{good(0), poison, good(2)}
+		if _, err := aggregate(bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), "badge 1") {
+			t.Errorf("%s: error %q does not name the offending badge", name, err)
+		}
+	}
+}
+
+// TestRunCtxPreCancelled: a dead context aborts before any badge simulates.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunCtx(ctx, smallConfig(8, 2))
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("rep=%v err=%v, want nil + context.Canceled", rep, err)
+	}
+}
+
+// TestRunCtxCancelsBetweenBadges cancels while the batch is running and
+// asserts the run aborts early with the context error surfaced and never
+// returns a partial report. The shard loops poll ctx between badges, so the
+// abort latency is one in-flight badge, not the remaining batch.
+func TestRunCtxCancelsBetweenBadges(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	// 64 badges take well over 10 ms on any hardware, so the cancellation
+	// always lands mid-batch.
+	rep, err := RunCtx(ctx, smallConfig(64, 2))
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("rep=%v err=%v, want nil + context.Canceled", rep, err)
 	}
 }
 

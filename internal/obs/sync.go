@@ -1,0 +1,170 @@
+// sync.go: concurrency-safe instruments for multi-goroutine writers.
+//
+// The core Registry is deliberately single-writer (see the package comment):
+// simulator hot paths update instruments through raw pointers with no
+// synchronisation. The serving daemon is the opposite regime — many request
+// handlers touching a shared registry at a low rate — so SyncRegistry wraps
+// a Registry behind one mutex and hands out handle types whose updates take
+// that lock. One uncontended lock per HTTP request is noise; the simulator
+// never goes through this path.
+
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SyncRegistry is a Registry safe for concurrent writers. Create with
+// NewSyncRegistry; a nil *SyncRegistry hands out nil handles whose methods
+// are all no-ops, mirroring Registry's disabled fast path.
+type SyncRegistry struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+// NewSyncRegistry returns an empty concurrency-safe registry.
+func NewSyncRegistry() *SyncRegistry {
+	return &SyncRegistry{r: NewRegistry()}
+}
+
+// Counter returns (registering on first use) the named counter handle.
+// Returns nil on a nil registry.
+func (s *SyncRegistry) Counter(name string) *SyncCounter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &SyncCounter{s: s, c: s.r.Counter(name)}
+}
+
+// Gauge returns (registering on first use) the named gauge handle.
+// Returns nil on a nil registry.
+func (s *SyncRegistry) Gauge(name string) *SyncGauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &SyncGauge{s: s, g: s.r.Gauge(name)}
+}
+
+// Histogram returns (registering on first use) the named histogram handle
+// with the given ascending bucket upper bounds; the bounds of the first
+// registration win. Returns nil on a nil registry.
+func (s *SyncRegistry) Histogram(name string, bounds []float64) *SyncHistogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &SyncHistogram{s: s, h: s.r.Histogram(name, bounds)}
+}
+
+// Snapshot returns a consistent point-in-time copy of every instrument
+// (no update is ever half-visible). Empty on a nil registry.
+func (s *SyncRegistry) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Snapshot()
+}
+
+// WriteJSON writes a consistent snapshot as indented JSON (same rendering
+// as Registry.WriteJSON: encoding/json sorts map keys, so the output is
+// stable for diffing). A nil registry writes an empty object.
+func (s *SyncRegistry) WriteJSON(w io.Writer) error {
+	snap := s.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// SyncCounter is a Counter handle whose updates are serialised by the owning
+// SyncRegistry's lock. All methods are no-ops / zero on a nil receiver.
+type SyncCounter struct {
+	s *SyncRegistry
+	c *Counter
+}
+
+// Add increments the counter by d.
+func (c *SyncCounter) Add(d float64) {
+	if c == nil {
+		return
+	}
+	c.s.mu.Lock()
+	c.c.Add(d)
+	c.s.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *SyncCounter) Inc() { c.Add(1) }
+
+// Value returns the current sum (0 for nil).
+func (c *SyncCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.c.Value()
+}
+
+// SyncGauge is a Gauge handle whose updates are serialised by the owning
+// SyncRegistry's lock. All methods are no-ops / zero on a nil receiver.
+type SyncGauge struct {
+	s *SyncRegistry
+	g *Gauge
+}
+
+// Set stores the value.
+func (g *SyncGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.mu.Lock()
+	g.g.Set(v)
+	g.s.mu.Unlock()
+}
+
+// Value returns the stored value (0 for nil).
+func (g *SyncGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.g.Value()
+}
+
+// SyncHistogram is a Histogram handle whose updates are serialised by the
+// owning SyncRegistry's lock. All methods are no-ops / zero on a nil
+// receiver.
+type SyncHistogram struct {
+	s *SyncRegistry
+	h *Histogram
+}
+
+// Observe records one sample.
+func (h *SyncHistogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.s.mu.Lock()
+	h.h.Observe(x)
+	h.s.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *SyncHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.h.Count()
+}

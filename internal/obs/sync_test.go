@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSyncRegistryConcurrentWriters hammers one registry from many
+// goroutines; run under -race this is the data-race proof, and the final
+// totals prove no update was lost.
+func TestSyncRegistryConcurrentWriters(t *testing.T) {
+	s := NewSyncRegistry()
+	c := s.Counter("req")
+	g := s.Gauge("depth")
+	h := s.Histogram("lat", []float64{1, 10, 100})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				c.Inc()
+				g.Set(float64(k))
+				h.Observe(float64(k % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Errorf("counter = %v, want %d", got, goroutines*per)
+	}
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("histogram count = %v, want %d", got, goroutines*per)
+	}
+	snap := s.Snapshot()
+	if snap.Counters["req"] != goroutines*per {
+		t.Errorf("snapshot counter = %v", snap.Counters["req"])
+	}
+	if hs := snap.Histograms["lat"]; hs.Count != goroutines*per || len(hs.Counts) != 4 {
+		t.Errorf("snapshot histogram = %+v", hs)
+	}
+}
+
+// TestSyncRegistryNilSafe mirrors the Registry contract: every handle and
+// method on a nil registry is a usable no-op.
+func TestSyncRegistryNilSafe(t *testing.T) {
+	var s *SyncRegistry
+	c := s.Counter("x")
+	g := s.Gauge("x")
+	h := s.Histogram("x", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil handles accumulated state")
+	}
+	if snap := s.Snapshot(); len(snap.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "{}" {
+		t.Errorf("nil WriteJSON = %q, want {}", buf.String())
+	}
+}
+
+// TestSyncRegistryWriteJSONMatchesRegistry: the sync wrapper must render the
+// same JSON a plain Registry with identical contents does, so /metrics
+// consumers see one format.
+func TestSyncRegistryWriteJSONMatchesRegistry(t *testing.T) {
+	s := NewSyncRegistry()
+	s.Counter("hits").Add(4)
+	s.Gauge("depth").Set(2)
+	s.Histogram("lat_ms", []float64{5, 50}).Observe(12)
+
+	r := NewRegistry()
+	r.Counter("hits").Add(4)
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat_ms", []float64{5, 50}).Observe(12)
+
+	var got, want bytes.Buffer
+	if err := s.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("sync JSON:\n%s\nregistry JSON:\n%s", got.String(), want.String())
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(got.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+// TestSyncRegistrySameNameSharesInstrument: two handles for one name update
+// one underlying instrument, like Registry.
+func TestSyncRegistrySameNameSharesInstrument(t *testing.T) {
+	s := NewSyncRegistry()
+	a := s.Counter("n")
+	b := s.Counter("n")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Errorf("shared counter = %v, want 2", got)
+	}
+}

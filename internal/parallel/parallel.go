@@ -1,7 +1,8 @@
 // Package parallel is the bounded, deterministic fan-out layer used by every
 // embarrassingly parallel Monte Carlo computation in this repository: the
 // off-line change-point threshold characterisation, the seed-replicated table
-// regeneration, and the Pareto/wake-probability policy sweeps.
+// regeneration, the Pareto/wake-probability policy sweeps, and the
+// fleet-scale batch engine.
 //
 // Determinism contract. Results are index-addressed: Map writes task i's
 // result into slot i, so the output is independent of goroutine scheduling.
@@ -10,11 +11,24 @@
 // bit-for-bit identical whether the work runs on 1 worker or 64.
 //
 // Error contract. The first error cancels the pool (no new tasks start;
-// running tasks finish), and all errors collected are aggregated with
-// errors.Join in index order.
+// running tasks finish), and all errors observed are aggregated with
+// errors.Join in index order — on both the serial and the pooled path, so
+// the returned error has the same wrapped shape for any worker count:
+// compare with errors.Is/errors.As, never with ==. With one worker at most
+// one error can ever be observed (nothing runs past the first failure); with
+// W workers up to W tasks are already running when the first one fails and
+// each may contribute its own error.
+//
+// Cancellation contract. The Ctx variants additionally stop starting tasks
+// once ctx is done; tasks already running finish (fn is never interrupted),
+// and ctx.Err() is joined after any task errors, so
+// errors.Is(err, context.Canceled/DeadlineExceeded) reports why the fan-out
+// stopped early. Cancellation is a transport-layer concern: a run that is
+// not cancelled is bit-identical to one executed without a context.
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -33,8 +47,17 @@ func Workers(requested int) int {
 // ForEach runs fn(0..n-1) on up to workers goroutines (workers <= 0 selects
 // GOMAXPROCS) and blocks until every started task returns. The first error
 // stops further tasks from starting; all errors observed are joined in index
-// order. fn must be safe for concurrent invocation when workers != 1.
+// order (see the package comment for the exact semantics). fn must be safe
+// for concurrent invocation when workers != 1.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// new task starts, tasks already running finish, and ctx.Err() is joined
+// after the task errors, so the caller can distinguish "a task failed" from
+// "the request went away" with errors.Is.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -43,13 +66,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		w = n
 	}
 	if w == 1 {
-		// Serial fast path: no goroutines, still first-error semantics.
+		// Serial fast path: no goroutines, same cancellation-point and
+		// error-aggregation semantics as the pooled path below.
+		var errs []error
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if err := fn(i); err != nil {
-				return err
+				errs = append(errs, err)
+				break
 			}
 		}
-		return nil
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+		}
+		return errors.Join(errs...)
 	}
 	var (
 		next    atomic.Int64
@@ -57,13 +89,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		wg      sync.WaitGroup
 	)
 	errs := make([]error, n)
+	done := ctx.Done()
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if stopped.Load() {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
-				if i >= n || stopped.Load() {
+				if i >= n {
 					return
 				}
 				if err := fn(i); err != nil {
@@ -75,14 +116,24 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	joined := errs
+	if err := ctx.Err(); err != nil {
+		joined = append(joined, err)
+	}
+	return errors.Join(joined...)
 }
 
 // Map runs fn over indices 0..n-1 with ForEach's scheduling and returns the
 // results in index order. On error the partial results are discarded.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with ForEachCtx's cancellation semantics. On error —
+// including cancellation — the partial results are discarded.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -74,6 +75,114 @@ func TestForEachJoinsMultipleErrors(t *testing.T) {
 	err := ForEach(4, 4, func(i int) error { return fmt.Errorf("fail-%d", i) })
 	if err == nil {
 		t.Fatal("no error")
+	}
+}
+
+// TestErrorShapeUnifiedAcrossWorkerCounts pins the fix for the serial fast
+// path returning the bare first error while the pooled path returned an
+// errors.Join aggregate: both paths must now wrap the task error identically,
+// so callers get the same behaviour from errors.Is / == for any worker count.
+func TestErrorShapeUnifiedAcrossWorkerCounts(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 8, func(i int) error {
+			if i == 2 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v does not wrap sentinel", workers, err)
+		}
+		if err == sentinel { // identity comparison deliberate: the wrapped shape IS the assertion
+			t.Fatalf("workers=%d: bare sentinel returned; want it wrapped via errors.Join on every path", workers)
+		}
+		var joined interface{ Unwrap() []error }
+		if !errors.As(err, &joined) {
+			t.Fatalf("workers=%d: error %T is not an errors.Join aggregate", workers, err)
+		}
+	}
+}
+
+// TestSerialErrorStopsLaterTasks pins the serial contract: the first error
+// cancels the run, so only the first failure is ever observed and joined.
+func TestSerialErrorStopsLaterTasks(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1, 10, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("fail-%d", i)
+	})
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d tasks ran past the first serial error", got)
+	}
+	if err == nil || err.Error() != "fail-0" {
+		t.Fatalf("err = %v, want the single joined fail-0", err)
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got != 0 {
+			t.Errorf("workers=%d: %d tasks ran on a pre-cancelled context", workers, got)
+		}
+	}
+}
+
+// TestForEachCtxCancelMidRun cancels after the first task starts and asserts
+// the fan-out stops promptly: running tasks finish, new ones never start.
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, workers, 10_000, func(i int) error {
+			cancel() // every task cancels; tasks in flight still complete
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got > int32(2*workers) {
+			t.Errorf("workers=%d: %d tasks ran after cancellation", workers, got)
+		}
+	}
+}
+
+// TestForEachCtxJoinsTaskErrorAndCtxError: a task failure and a cancellation
+// can both be present; the caller must see both through errors.Is.
+func TestForEachCtxJoinsTaskErrorAndCtxError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			if i == 0 {
+				cancel()
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want both sentinel and context.Canceled joined", workers, err)
+		}
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 10, func(i int) (int, error) { return i, nil })
+	if out != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("out=%v err=%v, want nil + context.Canceled", out, err)
 	}
 }
 

@@ -1,0 +1,427 @@
+// handlers.go: the /v1 endpoints — request/response DTOs, validation, and
+// the shared admit → run-with-context → render pipeline.
+//
+// Responses are rendered with one canonical encoding (json.Marshal of typed
+// structs, trailing newline) and carry no timing, identity or cache-state
+// fields, so a given request body always produces the same bytes.
+
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"smartbadge/internal/changepoint"
+	"smartbadge/internal/experiments"
+	"smartbadge/internal/fleet"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate request (a
+// thresholds rate grid) is a few kilobytes.
+const maxBodyBytes = 1 << 20
+
+// FleetRequest is the body of POST /v1/fleet. Empty axis slices select the
+// default heterogeneous mix, exactly like fleet.Config.
+type FleetRequest struct {
+	Badges   int      `json:"badges"`
+	Seed     uint64   `json:"seed"`
+	Workers  int      `json:"workers,omitempty"`
+	Apps     []string `json:"apps,omitempty"`
+	Policies []string `json:"policies,omitempty"`
+	DPMs     []string `json:"dpms,omitempty"`
+	// TimeoutMS is the server-side deadline for this request; 0 means no
+	// deadline (the client disconnecting still cancels). Values above the
+	// configured maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BadgeJSON is the wire form of one badge's result.
+type BadgeJSON struct {
+	Index         int     `json:"index"`
+	App           string  `json:"app"`
+	Policy        string  `json:"policy"`
+	DPM           string  `json:"dpm"`
+	EnergyJ       float64 `json:"energy_j"`
+	MeanDelayS    float64 `json:"mean_delay_s"`
+	SimTimeS      float64 `json:"sim_time_s"`
+	AvgPowerW     float64 `json:"avg_power_w"`
+	FramesDecoded int     `json:"frames_decoded"`
+	Sleeps        int     `json:"sleeps"`
+}
+
+// AggregateJSON is the wire form of the batch aggregates.
+type AggregateJSON struct {
+	Runs         int     `json:"runs"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	TotalSimS    float64 `json:"total_sim_s"`
+	EnergyP50J   float64 `json:"energy_p50_j"`
+	EnergyP90J   float64 `json:"energy_p90_j"`
+	EnergyP99J   float64 `json:"energy_p99_j"`
+	DelayP50S    float64 `json:"delay_p50_s"`
+	DelayP90S    float64 `json:"delay_p90_s"`
+	DelayP99S    float64 `json:"delay_p99_s"`
+}
+
+// FleetResponse is the 200 body of POST /v1/fleet.
+type FleetResponse struct {
+	Status string        `json:"status"`
+	Agg    AggregateJSON `json:"agg"`
+	Badges []BadgeJSON   `json:"badges"`
+}
+
+// RunRequest is the body of POST /v1/run: one badge, fully specified.
+// Empty fields take the first default-axis value.
+type RunRequest struct {
+	App       string `json:"app,omitempty"`
+	Policy    string `json:"policy,omitempty"`
+	DPM       string `json:"dpm,omitempty"`
+	Seed      uint64 `json:"seed"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the 200 body of POST /v1/run.
+type RunResponse struct {
+	Status string    `json:"status"`
+	Badge  BadgeJSON `json:"badge"`
+}
+
+// ThresholdsRequest is the body of POST /v1/thresholds: a candidate rate
+// grid plus optional overrides of the paper-default detector
+// characterisation knobs (zero values keep the defaults).
+type ThresholdsRequest struct {
+	Rates                   []float64 `json:"rates"`
+	WindowSize              int       `json:"window_size,omitempty"`
+	Confidence              float64   `json:"confidence,omitempty"`
+	CharacterisationWindows int       `json:"characterisation_windows,omitempty"`
+	Seed                    uint64    `json:"seed,omitempty"`
+	TimeoutMS               int64     `json:"timeout_ms,omitempty"`
+}
+
+// ThresholdsResponse is the 200 body of POST /v1/thresholds: the threshold
+// table in changepoint.ThresholdSet order. Whether it was computed fresh or
+// served from cache is deliberately not part of the body (it would break
+// byte-identity across repeats); cache outcomes are on /metrics.
+type ThresholdsResponse struct {
+	Status     string    `json:"status"`
+	WindowSize int       `json:"window_size"`
+	Confidence float64   `json:"confidence"`
+	Ratios     []float64 `json:"ratios"`
+	Values     []float64 `json:"values"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// writeJSON renders v with the canonical encoding. Marshal failure on these
+// closed DTO types is unreachable.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"status":"error","error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Status: "error", Error: msg})
+}
+
+// writeCancelled answers a request whose context died mid-run. The message
+// is fixed: the engine's joined cancellation error varies with shard timing
+// and has no place in a response body.
+func writeCancelled(w http.ResponseWriter) {
+	writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+		Status: "cancelled",
+		Error:  "deadline exceeded or client gone before the run completed",
+	})
+}
+
+// decodeBody strictly decodes the request body into v (unknown fields are
+// errors — they are silent typos of the knobs above).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// admitError maps an admission failure to its HTTP response.
+func (s *Server) admitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShed):
+		w.Header().Set("Retry-After", s.retryAfterValue())
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Status: "shed",
+			Error:  "admission queue full; retry later",
+		})
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default: // context cancelled while queued
+		s.cCanceled.Inc()
+		writeCancelled(w)
+	}
+}
+
+// parseFleetConfig validates a FleetRequest against the server limits and
+// lowers it to a fleet.Config.
+func (s *Server) parseFleetConfig(req FleetRequest) (fleet.Config, error) {
+	if req.Badges < 1 {
+		return fleet.Config{}, fmt.Errorf("badges must be >= 1, got %d", req.Badges)
+	}
+	if req.Badges > s.cfg.MaxBadges {
+		return fleet.Config{}, fmt.Errorf("badges %d exceeds the server limit %d", req.Badges, s.cfg.MaxBadges)
+	}
+	if req.TimeoutMS < 0 {
+		return fleet.Config{}, fmt.Errorf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	pols := make([]experiments.PolicyKind, 0, len(req.Policies))
+	for _, p := range req.Policies {
+		k, err := experiments.ParsePolicyKind(p)
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		pols = append(pols, k)
+	}
+	cfg := fleet.Config{
+		Badges:   req.Badges,
+		Seed:     req.Seed,
+		Workers:  req.Workers,
+		Apps:     req.Apps,
+		Policies: pols,
+		DPMs:     req.DPMs,
+	}
+	// Surface app/DPM typos as 400s now rather than 500s mid-run: the spec
+	// derivation is the cheap, pure part of the engine.
+	if _, err := fleet.Validate(cfg); err != nil {
+		return fleet.Config{}, err
+	}
+	return cfg, nil
+}
+
+func badgeJSON(b fleet.BadgeResult) BadgeJSON {
+	return BadgeJSON{
+		Index:         b.Index,
+		App:           b.App,
+		Policy:        b.Policy.WireName(),
+		DPM:           b.DPM,
+		EnergyJ:       b.EnergyJ,
+		MeanDelayS:    b.MeanDelayS,
+		SimTimeS:      b.SimTimeS,
+		AvgPowerW:     b.AvgPowerW,
+		FramesDecoded: b.FramesDecoded,
+		Sleeps:        b.Sleeps,
+	}
+}
+
+func fleetResponse(rep *fleet.Report) FleetResponse {
+	resp := FleetResponse{
+		Status: "ok",
+		Agg: AggregateJSON{
+			Runs:         rep.Agg.Runs,
+			TotalEnergyJ: rep.Agg.TotalEnergyJ,
+			TotalSimS:    rep.Agg.TotalSimS,
+			EnergyP50J:   rep.Agg.EnergyP50J,
+			EnergyP90J:   rep.Agg.EnergyP90J,
+			EnergyP99J:   rep.Agg.EnergyP99J,
+			DelayP50S:    rep.Agg.DelayP50S,
+			DelayP90S:    rep.Agg.DelayP90S,
+			DelayP99S:    rep.Agg.DelayP99S,
+		},
+		Badges: make([]BadgeJSON, len(rep.Badges)),
+	}
+	for i, b := range rep.Badges {
+		resp.Badges[i] = badgeJSON(b)
+	}
+	return resp
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer observeLatency(&s.rFleet, start)
+	s.rFleet.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req FleetRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.rFleet.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := s.parseFleetConfig(req)
+	if err != nil {
+		s.rFleet.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.rFleet.failures.Inc()
+		s.admitError(w, err)
+		return
+	}
+	defer release()
+	rep, err := s.runFleet(ctx, cfg)
+	if err != nil {
+		s.rFleet.failures.Inc()
+		if ctx.Err() != nil {
+			s.cCanceled.Inc()
+			writeCancelled(w)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetResponse(rep))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer observeLatency(&s.rRun, start)
+	s.rRun.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.rRun.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A single badge is a one-element batch pinned to every axis, so /v1/run
+	// shares the fleet engine — and its cancellation points — wholesale.
+	freq := FleetRequest{
+		Badges:    1,
+		Seed:      req.Seed,
+		Workers:   1,
+		TimeoutMS: req.TimeoutMS,
+	}
+	if req.App != "" {
+		freq.Apps = []string{req.App}
+	}
+	if req.Policy != "" {
+		freq.Policies = []string{req.Policy}
+	}
+	if req.DPM != "" {
+		freq.DPMs = []string{req.DPM}
+	}
+	cfg, err := s.parseFleetConfig(freq)
+	if err != nil {
+		s.rRun.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.rRun.failures.Inc()
+		s.admitError(w, err)
+		return
+	}
+	defer release()
+	rep, err := s.runFleet(ctx, cfg)
+	if err != nil {
+		s.rRun.failures.Inc()
+		if ctx.Err() != nil {
+			s.cCanceled.Inc()
+			writeCancelled(w)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Status: "ok", Badge: badgeJSON(rep.Badges[0])})
+}
+
+func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer observeLatency(&s.rThr, start)
+	s.rThr.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ThresholdsRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.rThr.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg := changepoint.DefaultConfig(req.Rates)
+	if req.WindowSize > 0 {
+		cfg.WindowSize = req.WindowSize
+	}
+	if req.Confidence > 0 {
+		cfg.Confidence = req.Confidence
+	}
+	if req.CharacterisationWindows > 0 {
+		cfg.CharacterisationWindows = req.CharacterisationWindows
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if err := cfg.Validate(); err != nil {
+		s.rThr.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.rThr.failures.Inc()
+		s.admitError(w, err)
+		return
+	}
+	defer release()
+	// The characterisation itself is not context-aware (it is the cached,
+	// offline Monte Carlo step); the deadline covers queue wait, and a
+	// characterisation that outlives its requester still warms the cache.
+	th, err := s.characterise(cfg)
+	if err != nil {
+		s.rThr.failures.Inc()
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if ctx.Err() != nil {
+		s.rThr.failures.Inc()
+		s.cCanceled.Inc()
+		writeCancelled(w)
+		return
+	}
+	set := th.Snapshot()
+	writeJSON(w, http.StatusOK, ThresholdsResponse{
+		Status:     "ok",
+		WindowSize: set.WindowSize,
+		Confidence: set.Confidence,
+		Ratios:     set.Ratios,
+		Values:     set.Values,
+	})
+}
+
+// healthResponse is the /healthz body. InFlight/Queued are point-in-time
+// transport state — /healthz is outside the byte-identity contract.
+type healthResponse struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+}
