@@ -1,29 +1,42 @@
-// Command smartbadge-lint is the project's static-analysis gate: it runs the
-// determinism, RNG-sharing, unit-safety and observability-discipline
-// analyzers (see internal/analysis and DESIGN.md "Invariants enforced by
-// static analysis") over the given packages and exits non-zero on any
-// finding.
+// Command smartbadge-lint is the project's static-analysis gate: it runs
+// the determinism, RNG-sharing, unit-safety, observability-discipline,
+// context-flow, lock-discipline, wire-safety and goroutine-join analyzers
+// (see internal/analysis and DESIGN.md §10 "Invariants enforced by static
+// analysis") over the given packages and exits non-zero on any finding.
 //
 // Usage:
 //
-//	go run ./cmd/smartbadge-lint ./...
+//	go run ./cmd/smartbadge-lint [-json] ./...
+//
+// With -json each finding is emitted as one JSON object per line
+// ({"analyzer","file","line","message"}) for CI annotation and artifact
+// upload; the human-readable form goes to stdout otherwise.
 //
 // Findings can be suppressed, with a mandatory recorded reason, by placing
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the offending line or the line directly above it.
+// on the offending line or the line directly above it. An allow that
+// suppresses nothing is itself reported, so escape hatches cannot outlive
+// their reason.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"smartbadge/internal/analysis"
+	"smartbadge/internal/analysis/ctxflow"
 	"smartbadge/internal/analysis/detcheck"
+	"smartbadge/internal/analysis/leakcheck"
+	"smartbadge/internal/analysis/lockcheck"
 	"smartbadge/internal/analysis/obscheck"
 	"smartbadge/internal/analysis/rngshare"
 	"smartbadge/internal/analysis/unitcheck"
+	"smartbadge/internal/analysis/wirecheck"
 )
 
 // Analyzers is the project suite, in reporting order.
@@ -32,28 +45,66 @@ var Analyzers = []*analysis.Analyzer{
 	rngshare.Analyzer,
 	unitcheck.Analyzer,
 	obscheck.Analyzer,
+	ctxflow.Analyzer,
+	lockcheck.Analyzer,
+	wirecheck.Analyzer,
+	leakcheck.Analyzer,
 }
 
-func main() {
-	patterns := os.Args[1:]
+// jsonFinding is the machine-readable record emitted per diagnostic in
+// -json mode, one object per line.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+// lintMain runs the suite over patterns resolved relative to dir, writing
+// findings to out (JSONL when asJSON) and errors to errOut. The exit code
+// is 0 for a clean run, 1 for findings, 2 for a load or analyzer failure —
+// the same contract main exposes, factored out so tests can drive it.
+func lintMain(dir string, patterns []string, asJSON bool, out, errOut io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(".", patterns...)
+	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smartbadge-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(errOut, "smartbadge-lint:", err)
+		return 2
 	}
 	diags, err := analysis.Run(pkgs, Analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smartbadge-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(errOut, "smartbadge-lint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if asJSON {
+		enc := json.NewEncoder(out)
+		for _, d := range diags {
+			if err := enc.Encode(jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(errOut, "smartbadge-lint:", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "smartbadge-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(errOut, "smartbadge-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit one JSON object per finding ({analyzer, file, line, message})")
+	flag.Parse()
+	os.Exit(lintMain(".", flag.Args(), *asJSON, os.Stdout, os.Stderr))
 }

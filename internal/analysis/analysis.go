@@ -35,6 +35,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"smartbadge/internal/analysis/callgraph"
 )
 
 // An Analyzer describes one analysis: a name (used in diagnostics and in
@@ -55,8 +57,30 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Graph is the conservative static call graph over every package in
+	// the current Run invocation, shared by all analyzers (see
+	// internal/analysis/callgraph). Cross-package reachability queries only
+	// see the packages loaded together — a full `./...` run sees the whole
+	// module.
+	Graph *callgraph.Graph
 
 	diags *[]Diagnostic
+	// markAllowUsed is wired by Run so analyzers that honour //lint:allow
+	// directives at source sites in *other* packages (cross-package
+	// reachability checks) can record the usage, keeping those directives
+	// from being reported stale.
+	markAllowUsed func(file string, line int, analyzer string)
+}
+
+// MarkAllowUsed records that the //lint:allow directive for analyzer on the
+// given file line (if one exists) suppressed a finding, exempting it from
+// stale-directive reporting. Run's own line-based filtering does this
+// automatically for reported diagnostics; this entry point is for analyzers
+// that honour allows at remote source sites instead of reporting.
+func (p *Pass) MarkAllowUsed(file string, line int, analyzer string) {
+	if p.markAllowUsed != nil {
+		p.markAllowUsed(file, line, analyzer)
+	}
 }
 
 // A Diagnostic is one finding, positioned in the source.
@@ -91,25 +115,56 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowState tracks one directive so a stale allow — one that suppressed
+// nothing — can itself be reported.
+type allowState struct {
+	pos  token.Position
+	used bool
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. //lint:allow directives are applied here
 // so individual analyzers stay suppression-unaware; malformed directives
-// (no reason given) are reported under the "lint" pseudo-analyzer.
+// (no reason given) and stale directives (suppressing nothing) are reported
+// under the "lint" pseudo-analyzer. A shared call graph over all the
+// packages is built first and handed to every Pass.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	units := make([]*callgraph.Unit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &callgraph.Unit{
+			Fset:  pkg.Fset,
+			Files: pkg.Syntax,
+			Pkg:   pkg.Types,
+			Info:  pkg.TypesInfo,
+		}
+	}
+	graph := callgraph.Build(units)
+
 	var diags []Diagnostic
-	allowed := make(map[allowKey]bool)
+	allowed := make(map[allowKey]*allowState)
+	// All directives are collected before any analyzer runs: a pass on an
+	// early package may honour (and mark used) an allow in a later one.
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Syntax {
 			collectAllows(pkg.Fset, f, allowed, &diags)
 		}
+	}
+	markAllowUsed := func(file string, line int, analyzer string) {
+		if st, ok := allowed[allowKey{file, line, analyzer}]; ok {
+			st.used = true
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				diags:     &diags,
+				Analyzer:      a,
+				Fset:          pkg.Fset,
+				Files:         pkg.Syntax,
+				Pkg:           pkg.Types,
+				TypesInfo:     pkg.TypesInfo,
+				Graph:         graph,
+				diags:         &diags,
+				markAllowUsed: markAllowUsed,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
@@ -118,11 +173,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-			allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+		if st := firstAllow(allowed, d); st != nil {
+			st.used = true
 			continue
 		}
 		kept = append(kept, d)
+	}
+	// A directive for an analyzer that ran but suppressed nothing has
+	// outlived its reason; report it so escape hatches cannot accumulate.
+	// Directives naming analyzers outside this run are left alone (a
+	// single-analyzer test run must not flag the other analyzers' allows).
+	active := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for key, st := range allowed {
+		if !st.used && active[key.analyzer] {
+			kept = append(kept, Diagnostic{
+				Pos:      st.pos,
+				Analyzer: "lint",
+				Message: fmt.Sprintf(
+					"stale //lint:allow %s: it suppresses no diagnostic; remove the directive",
+					key.analyzer),
+			})
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i].Pos, kept[j].Pos
@@ -140,10 +214,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return kept, nil
 }
 
+// firstAllow returns the directive state suppressing d: an allow on d's
+// line or the line directly above.
+func firstAllow(allowed map[allowKey]*allowState, d Diagnostic) *allowState {
+	if st, ok := allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+		return st
+	}
+	if st, ok := allowed[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
+		return st
+	}
+	return nil
+}
+
 // collectAllows records every //lint:allow directive in f. A directive
 // suppresses matching diagnostics on its own line and on the line below
 // (covering both end-of-line and standalone-comment placement).
-func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]bool, diags *[]Diagnostic) {
+func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]*allowState, diags *[]Diagnostic) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := allowRe.FindStringSubmatch(c.Text)
@@ -166,7 +252,26 @@ func collectAllows(fset *token.FileSet, f *ast.File, allowed map[allowKey]bool, 
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			allowed[allowKey{pos.Filename, pos.Line, m[1]}] = true
+			allowed[allowKey{pos.Filename, pos.Line, m[1]}] = &allowState{pos: pos}
 		}
 	}
+}
+
+// AllowedLines returns the lines of f carrying a well-formed
+// `//lint:allow <analyzer> <reason>` directive for the given analyzer.
+// Analyzers that inspect *other* packages' syntax through the call graph
+// (e.g. detcheck's transitive taint scan) use it to honour suppressions at
+// the source site, which Run's own line-based filtering cannot see.
+func AllowedLines(fset *token.FileSet, f *ast.File, analyzer string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil || m[1] != analyzer || strings.TrimSpace(m[2]) == "" {
+				continue
+			}
+			lines[fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
 }

@@ -35,14 +35,27 @@ var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 // mismatch against the package's want comments as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	base := dir[strings.LastIndexAny(dir, `/\`)+1:]
-	pkg, err := analysis.LoadFiles(dir, "testdata/"+base)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	RunDirs(t, a, dir)
+}
+
+// RunDirs is Run over several golden directories loaded as one package set:
+// later directories may import earlier ones by their "testdata/<base>"
+// paths, which is how call-graph analyzers get cross-package fixtures.
+// Wants are collected — and diagnostics matched — across every package.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	dps := make([]analysis.DirPkg, len(dirs))
+	for i, dir := range dirs {
+		base := dir[strings.LastIndexAny(dir, `/\`)+1:]
+		dps[i] = analysis.DirPkg{Dir: dir, PkgPath: "testdata/" + base}
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	pkgs, err := analysis.LoadDirs(dps)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %v: %v", a.Name, dirs, err)
 	}
 
 	type key struct {
@@ -50,20 +63,22 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		line int
 	}
 	wants := make(map[key][]*regexp.Regexp)
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					res, err := parseWants(m[1])
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], res...)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				res, err := parseWants(m[1])
-				if err != nil {
-					t.Fatalf("%s: %v", pos, err)
-				}
-				k := key{pos.Filename, pos.Line}
-				wants[k] = append(wants[k], res...)
 			}
 		}
 	}

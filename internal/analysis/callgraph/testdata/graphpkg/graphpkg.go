@@ -1,0 +1,49 @@
+// Package graphpkg exercises every callgraph feature the unit tests pin:
+// plain and deferred edges, goroutine-spawning literals, channel ops,
+// known-blocking stdlib calls, generic instantiation, and context
+// signatures.
+package graphpkg
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Leaf does nothing interesting.
+func Leaf() int { return 1 }
+
+// Caller has a single plain edge to Leaf.
+func Caller() int { return Leaf() }
+
+// ChanRecv blocks on a channel directly.
+func ChanRecv(ch chan int) int { return <-ch }
+
+// Transitive blocks only through ChanRecv.
+func Transitive(ch chan int) int { return ChanRecv(ch) }
+
+// Sleeper calls a known-blocking stdlib entry point.
+func Sleeper() { time.Sleep(time.Millisecond) }
+
+// Spawner forks a goroutine literal and joins it.
+func Spawner(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Deferred defers a call to Leaf.
+func Deferred() {
+	defer Leaf()
+}
+
+// WithCtx carries a context parameter.
+func WithCtx(ctx context.Context) error { return ctx.Err() }
+
+// Generic is instantiated implicitly below.
+func Generic[T any](x T) T { return x }
+
+// CallsGeneric has an edge through the instantiation.
+func CallsGeneric() int { return Generic(1) }

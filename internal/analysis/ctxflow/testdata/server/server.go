@@ -1,0 +1,37 @@
+// Package server is ctxflow's boundary golden package: its import path ends
+// in "server", which is on the context entry boundary, so root contexts are
+// legitimate here — but it is also a loop-checked package, so blocking
+// loops must still observe the context they derive.
+package server
+
+import "context"
+
+// newRequestCtx mints a root context at the boundary. Not flagged.
+func newRequestCtx() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// drain blocks per iteration without observing ctx: still flagged — being
+// on the boundary exempts root-context creation, not loop discipline.
+func drain(ctx context.Context, ch chan int) int {
+	total := 0
+	for i := 0; i < 4; i++ { // want `this loop can block but never observes the context`
+		total += <-ch
+	}
+	_ = ctx
+	return total
+}
+
+// drainObserving is the corrected form. Not flagged.
+func drainObserving(ctx context.Context, ch chan int) int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+	return total
+}

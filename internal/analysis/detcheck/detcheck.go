@@ -7,6 +7,15 @@
 // guarantees results independent of goroutine scheduling, and the paper's
 // tables are regenerated from seeds; a single time.Now or map-ordered
 // accumulation silently voids both.
+//
+// The contract is transitive: a deterministic package calling a helper in a
+// package outside the roster whose body (possibly several hops further down
+// the call graph) reads the wall clock or math/rand is just as broken as
+// one calling time.Now directly, so such calls are reported at the edge
+// where the contract is crossed. A `//lint:allow detcheck` directive at the
+// remote taint site waives the whole chain (the helper declares its
+// nondeterminism deliberate); edges into other roster packages are not
+// traversed — those packages are checked in their own right.
 package detcheck
 
 import (
@@ -16,6 +25,7 @@ import (
 	"strings"
 
 	"smartbadge/internal/analysis"
+	"smartbadge/internal/analysis/callgraph"
 )
 
 // DeterministicPkgs names the packages (by final import-path element) whose
@@ -46,16 +56,26 @@ var forbiddenTimeFuncs = map[string]bool{
 	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
 }
 
+// analyzerName is referenced from the transitive taint scan; a constant
+// rather than Analyzer.Name so the Run closure does not form an
+// initialization cycle with the Analyzer variable.
+const analyzerName = "detcheck"
+
 // Analyzer is the detcheck analysis.
 var Analyzer = &analysis.Analyzer{
-	Name: "detcheck",
+	Name: analyzerName,
 	Doc:  "forbid wall-clock reads, ambient math/rand, and unsorted map iteration in deterministic packages",
 	Run:  run,
 }
 
+// IsDeterministicPkg reports whether pkgPath's final element is on the
+// deterministic roster.
+func IsDeterministicPkg(pkgPath string) bool {
+	return DeterministicPkgs[pkgPath[strings.LastIndex(pkgPath, "/")+1:]]
+}
+
 func run(pass *analysis.Pass) error {
-	parts := strings.Split(pass.Pkg.Path(), "/")
-	if !DeterministicPkgs[parts[len(parts)-1]] {
+	if !IsDeterministicPkg(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -69,17 +89,131 @@ func run(pass *analysis.Pass) error {
 			return true
 		})
 	}
+	checkTransitive(pass)
 	return nil
+}
+
+// checkTransitive reports calls from this (deterministic) package into
+// off-roster module functions whose bodies — possibly several hops down the
+// call graph — contain a banned construct. The report lands on the edge
+// where the contract is crossed; traversal never enters roster packages
+// (they answer for themselves) or bodyless functions (stdlib and export
+// data, covered by the direct selector check).
+func checkTransitive(pass *analysis.Pass) {
+	taint := make(map[*callgraph.Node]taintResult)
+	for _, n := range pass.Graph.FuncsIn(pass.Pkg.Path()) {
+		for _, e := range n.Edges {
+			callee := e.Callee
+			if callee.Body == nil || IsDeterministicPkg(callee.PkgPath) {
+				continue
+			}
+			visited := make(map[*callgraph.Node]bool)
+			if t := findTaint(pass, callee, taint, visited); t.desc != "" {
+				pass.Reportf(e.Pos,
+					"%s transitively reaches %s (in %s); the determinism contract is transitive — take the value as input or move the helper into a deterministic package",
+					nodeLabel(callee), t.desc, nodeLabel(t.site))
+			}
+		}
+	}
+}
+
+// taintResult describes the first banned construct reachable from a node.
+type taintResult struct {
+	desc string // e.g. "time.Now" or "math/rand"; "" when clean
+	site *callgraph.Node
+}
+
+// findTaint performs a memoised depth-first search (in deterministic
+// source-edge order) through off-roster module functions.
+func findTaint(pass *analysis.Pass, n *callgraph.Node, taint map[*callgraph.Node]taintResult, visited map[*callgraph.Node]bool) taintResult {
+	if t, ok := taint[n]; ok {
+		return t
+	}
+	if visited[n] {
+		return taintResult{}
+	}
+	visited[n] = true
+	if desc := directTaint(pass, n); desc != "" {
+		t := taintResult{desc: desc, site: n}
+		taint[n] = t
+		return t
+	}
+	for _, e := range n.Edges {
+		callee := e.Callee
+		if callee.Body == nil || IsDeterministicPkg(callee.PkgPath) {
+			continue
+		}
+		if t := findTaint(pass, callee, taint, visited); t.desc != "" {
+			taint[n] = t
+			return t
+		}
+	}
+	taint[n] = taintResult{}
+	return taintResult{}
+}
+
+// directTaint reports the first banned construct in n's own body, honouring
+// //lint:allow detcheck directives at the site (and marking them used so
+// they are not reported stale).
+func directTaint(pass *analysis.Pass, n *callgraph.Node) string {
+	if n.Body == nil {
+		return ""
+	}
+	allowed := analysis.AllowedLines(n.Unit.Fset, n.File, analyzerName)
+	desc := ""
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var found string
+		switch pkgPathIn(n.Unit.Info, sel.X) {
+		case "time":
+			if forbiddenTimeFuncs[sel.Sel.Name] {
+				found = "time." + sel.Sel.Name
+			}
+		case "math/rand", "math/rand/v2":
+			found = "math/rand"
+		}
+		if found == "" {
+			return true
+		}
+		p := n.Unit.Fset.Position(sel.Pos())
+		if allowed[p.Line] || allowed[p.Line-1] {
+			pass.MarkAllowUsed(p.Filename, p.Line, analyzerName)
+			pass.MarkAllowUsed(p.Filename, p.Line-1, analyzerName)
+			return true
+		}
+		desc = found
+		return true
+	})
+	return desc
+}
+
+// nodeLabel renders a node as pkg.Func for messages.
+func nodeLabel(n *callgraph.Node) string {
+	if n.Fn == nil {
+		return n.Key // function literal: the key is already qualified
+	}
+	pkg := n.PkgPath[strings.LastIndex(n.PkgPath, "/")+1:]
+	return pkg + "." + n.Fn.Name()
 }
 
 // pkgPathOf resolves expr to the import path of the package it names, or ""
 // when expr is not a package qualifier.
 func pkgPathOf(pass *analysis.Pass, expr ast.Expr) string {
+	return pkgPathIn(pass.TypesInfo, expr)
+}
+
+func pkgPathIn(info *types.Info, expr ast.Expr) string {
 	id, ok := expr.(*ast.Ident)
 	if !ok {
 		return ""
 	}
-	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	pn, ok := info.Uses[id].(*types.PkgName)
 	if !ok {
 		return ""
 	}

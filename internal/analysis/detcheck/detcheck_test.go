@@ -15,6 +15,14 @@ func TestNonDeterministicPackageIgnored(t *testing.T) {
 	analysistest.Run(t, "testdata/freepkg", detcheck.Analyzer)
 }
 
+// TestTransitiveReach loads the off-roster helper package together with the
+// deterministic stats package so call-graph edges between them exist: wall
+// clock reads reached through one or two helper hops are reported at the
+// crossing call site, while source-site and call-site waivers hold.
+func TestTransitiveReach(t *testing.T) {
+	analysistest.RunDirs(t, detcheck.Analyzer, "testdata/helper", "testdata/stats")
+}
+
 // TestMembership pins the determinism roster: fleet (batch reports must be
 // worker-count invariant) is covered; thrcache is deliberately exempt — its
 // disk I/O is environment-dependent and its bit-identity obligation is

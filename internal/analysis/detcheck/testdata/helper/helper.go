@@ -1,0 +1,26 @@
+// Package helper is the off-roster side of detcheck's transitive golden
+// pair: it may read the wall clock freely (nothing here is flagged), but
+// deterministic packages calling into it must be reported at their call
+// sites — except through WaivedStamp, whose taint site carries a written
+// waiver.
+package helper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() float64 { return float64(time.Now().UnixNano()) }
+
+// Indirect hides the read one hop deeper.
+func Indirect() float64 { return Stamp() }
+
+// TwoHops hides it behind two calls.
+func TwoHops() float64 { return Indirect() }
+
+// Pure is a clean helper.
+func Pure(x float64) float64 { return 2 * x }
+
+// WaivedStamp declares its nondeterminism deliberate at the source site,
+// which waives every chain that reaches it.
+func WaivedStamp() float64 {
+	return float64(time.Now().UnixNano()) //lint:allow detcheck wall-clock stamping is this helper's documented purpose
+}

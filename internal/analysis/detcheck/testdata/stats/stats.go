@@ -1,0 +1,37 @@
+// Package stats is the roster side of detcheck's transitive golden pair:
+// its import path ends in "stats", a deterministic package, so calls that
+// reach wall-clock reads through the off-roster helper package must be
+// reported at the crossing edge.
+package stats
+
+import "testdata/helper"
+
+// UsesIndirect crosses the contract one hop from the taint.
+func UsesIndirect() float64 {
+	return helper.Indirect() // want `helper\.Indirect transitively reaches time\.Now \(in helper\.Stamp\)`
+}
+
+// UsesTwoHops crosses it two hops out.
+func UsesTwoHops() float64 {
+	return helper.TwoHops() // want `helper\.TwoHops transitively reaches time\.Now`
+}
+
+// UsesDirectHelper calls the tainted function itself.
+func UsesDirectHelper() float64 {
+	return helper.Stamp() // want `helper\.Stamp transitively reaches time\.Now`
+}
+
+// UsesPure stays on clean helpers. Not flagged.
+func UsesPure(x float64) float64 {
+	return helper.Pure(x)
+}
+
+// UsesWaived reaches a taint site with a source-side waiver. Not flagged.
+func UsesWaived() float64 {
+	return helper.WaivedStamp()
+}
+
+// CallSiteWaiver keeps a deliberate crossing with a reason of its own.
+func CallSiteWaiver() float64 {
+	return helper.Indirect() //lint:allow detcheck golden case for a call-site waiver of a transitive reach
+}

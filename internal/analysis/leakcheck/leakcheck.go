@@ -1,0 +1,141 @@
+// Package leakcheck forbids fire-and-forget goroutines: every `go`
+// statement must spawn work that signals its completion so some joiner can
+// wait for it — a sync.WaitGroup.Done, a channel send, or a close of a done
+// channel, possibly behind a helper call the call graph can resolve. A
+// goroutine with no completion signal can never be joined, which means
+// process shutdown (and tests, and the serving daemon's drain path) cannot
+// prove the work finished — the classic leaked-goroutine shape.
+//
+// The check is conservative in the other direction too: a `go` statement
+// whose callee cannot be statically resolved is reported, because nothing
+// can be proven about it. The repo's worker pools all spawn function
+// literals, which always resolve.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartbadge/internal/analysis"
+	"smartbadge/internal/analysis/callgraph"
+)
+
+// Analyzer is the leakcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc:  "require every go statement to signal completion (WaitGroup.Done, channel send, or close) so it can be joined",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, gs *ast.GoStmt) {
+	visited := make(map[*callgraph.Node]bool)
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if !signalsCompletion(pass, pass.TypesInfo, lit.Body, visited) {
+			report(pass, gs)
+		}
+		return
+	}
+	fn := callgraph.Callee(pass.TypesInfo, gs.Call)
+	if fn == nil {
+		pass.Reportf(gs.Pos(),
+			"goroutine target cannot be statically resolved, so no join can be proven; spawn a function literal that signals completion")
+		return
+	}
+	node := pass.Graph.NodeOf(fn)
+	if node == nil || node.Body == nil {
+		report(pass, gs)
+		return
+	}
+	visited[node] = true
+	if !signalsCompletion(pass, node.Unit.Info, node.Body, visited) {
+		report(pass, gs)
+	}
+}
+
+func report(pass *analysis.Pass, gs *ast.GoStmt) {
+	pass.Reportf(gs.Pos(),
+		"this goroutine has no join: signal completion with WaitGroup.Done, a channel send, or close of a done channel so shutdown can wait for it")
+}
+
+// signalsCompletion walks body (including nested literals, which are
+// invoked or deferred where they are declared in this codebase) looking for
+// a completion signal, following statically resolved calls through the call
+// graph.
+func signalsCompletion(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt, visited map[*callgraph.Node]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isWaitGroupDone(info, n) || isClose(info, n) {
+				found = true
+				return false
+			}
+			fn := callgraph.Callee(info, n)
+			if fn == nil {
+				return true
+			}
+			node := pass.Graph.NodeOf(fn)
+			if node == nil || node.Body == nil || visited[node] {
+				return true
+			}
+			visited[node] = true
+			if signalsCompletion(pass, node.Unit.Info, node.Body, visited) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupDone reports a (*sync.WaitGroup).Done call.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// isClose reports the close builtin applied to a channel.
+func isClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/leakcheck"
+)
+
+func TestGoroutineJoins(t *testing.T) {
+	analysistest.Run(t, "testdata/goroutines", leakcheck.Analyzer)
+}

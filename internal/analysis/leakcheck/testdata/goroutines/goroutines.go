@@ -1,0 +1,76 @@
+// Package goroutines is leakcheck's golden package: every joinable spawn
+// idiom the repo uses must pass, and fire-and-forget shapes must be
+// reported.
+package goroutines
+
+import "sync"
+
+// joinedByWaitGroup is the worker-pool shape. Not flagged.
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// joinedByChannel hands its result back on a channel. Not flagged.
+func joinedByChannel() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// joinedByClose signals with a done channel. Not flagged.
+func joinedByClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// fireAndForget never signals anyone.
+func fireAndForget() {
+	go func() { // want `this goroutine has no join`
+		_ = 1 + 1
+	}()
+}
+
+// work is a silent named target.
+func work() {}
+
+// leakyNamed spawns a function that never signals.
+func leakyNamed() {
+	go work() // want `this goroutine has no join`
+}
+
+// signal closes behind a helper the call graph resolves.
+func signal(ch chan struct{}) { close(ch) }
+
+// joinedTransitively signals through that helper. Not flagged.
+func joinedTransitively() {
+	done := make(chan struct{})
+	go func() {
+		signal(done)
+	}()
+	<-done
+}
+
+// deferredLitDone signals from a deferred literal. Not flagged.
+func deferredLitDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer func() { wg.Done() }()
+	}()
+}
+
+// dynamicTarget cannot be resolved statically.
+func dynamicTarget(f func()) {
+	go f() // want `goroutine target cannot be statically resolved`
+}

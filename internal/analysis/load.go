@@ -151,28 +151,83 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // becomes the checked package's import path, so analyzers that switch on
 // the package path see the caller's choice. Used by analysistest.
 func LoadFiles(dir, pkgPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := LoadDirs([]DirPkg{{Dir: dir, PkgPath: pkgPath}})
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	importSet := make(map[string]bool)
-	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("parsing %s: %w", e.Name(), err)
-		}
-		files = append(files, f)
-		for _, spec := range f.Imports {
-			importSet[importPathOf(spec)] = true
-		}
+	return pkgs[0], nil
+}
+
+// DirPkg names one golden directory and the import path its package should
+// be checked under.
+type DirPkg struct {
+	Dir     string
+	PkgPath string
+}
+
+// localImporter resolves the already-checked golden packages by their
+// assigned import paths and defers everything else to the export-data
+// importer, so a golden package can import an earlier golden package —
+// which is how cross-package analyses (call-graph reachability) get
+// multi-package test fixtures.
+type localImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (li *localImporter) Import(path string) (*types.Package, error) {
+	if p, ok := li.local[path]; ok {
+		return p, nil
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
+	return li.fallback.Import(path)
+}
+
+// LoadDirs loads several golden directories as one package set sharing a
+// FileSet. Directories are checked in order; later ones may import earlier
+// ones by their assigned import paths (real module and stdlib imports keep
+// resolving through export data). Used by analysistest for analyzers whose
+// findings span packages.
+func LoadDirs(dirs []DirPkg) ([]*Package, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no directories given")
+	}
+	fset := token.NewFileSet()
+	type parsed struct {
+		dp    DirPkg
+		files []*ast.File
+	}
+	var all []parsed
+	importSet := make(map[string]bool)
+	local := make(map[string]*types.Package, len(dirs))
+	localPath := make(map[string]bool, len(dirs))
+	for _, dp := range dirs {
+		localPath[dp.PkgPath] = true
+	}
+	for _, dp := range dirs {
+		entries, err := os.ReadDir(dp.Dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dp.Dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", e.Name(), err)
+			}
+			files = append(files, f)
+			for _, spec := range f.Imports {
+				if p := importPathOf(spec); !localPath[p] {
+					importSet[p] = true
+				}
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dp.Dir)
+		}
+		all = append(all, parsed{dp: dp, files: files})
 	}
 	exports := make(map[string]string)
 	if len(importSet) > 0 {
@@ -180,7 +235,7 @@ func LoadFiles(dir, pkgPath string) (*Package, error) {
 		for path := range importSet {
 			args = append(args, path)
 		}
-		deps, err := goList(dir, args...)
+		deps, err := goList(all[0].dp.Dir, args...)
 		if err != nil {
 			return nil, err
 		}
@@ -188,19 +243,25 @@ func LoadFiles(dir, pkgPath string) (*Package, error) {
 			exports[p.ImportPath] = p.Export
 		}
 	}
-	info := newTypesInfo()
-	conf := types.Config{Importer: exportLookup(fset, exports)}
-	tpkg, err := conf.Check(pkgPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %w", dir, err)
+	imp := &localImporter{local: local, fallback: exportLookup(fset, exports)}
+	var out []*Package
+	for _, p := range all {
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.dp.PkgPath, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.dp.Dir, err)
+		}
+		local[p.dp.PkgPath] = tpkg
+		out = append(out, &Package{
+			PkgPath:   p.dp.PkgPath,
+			Fset:      fset,
+			Syntax:    p.files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
 	}
-	return &Package{
-		PkgPath:   pkgPath,
-		Fset:      fset,
-		Syntax:    files,
-		Types:     tpkg,
-		TypesInfo: info,
-	}, nil
+	return out, nil
 }
 
 func importPathOf(spec *ast.ImportSpec) string {

@@ -2,6 +2,9 @@ package analysis
 
 import (
 	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -32,6 +35,105 @@ func TestLoadTypeChecksAgainstExportData(t *testing.T) {
 	if len(p.TypesInfo.Uses) == 0 || len(p.TypesInfo.Selections) == 0 {
 		t.Fatalf("type info not populated: %d uses, %d selections",
 			len(p.TypesInfo.Uses), len(p.TypesInfo.Selections))
+	}
+}
+
+// writeModule lays out a throwaway module with the given files (paths
+// relative to the module root) and returns its directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadTypeCheckFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"broken/broken.go": "package broken\n\nfunc F() int { return undefinedName }\n",
+	})
+	_, err := Load(dir, "./...")
+	// go list -export compiles the target itself, so the type error surfaces
+	// through the list step rather than the loader's own checker.
+	if err == nil || !strings.Contains(err.Error(), "undefinedName") {
+		t.Fatalf("err = %v, want failure naming the undefined identifier", err)
+	}
+}
+
+func TestLoadDirsTypeCheckFailure(t *testing.T) {
+	// Golden directories bypass go list entirely, so this is the path that
+	// exercises the loader's own type-checker error wrapping.
+	dir := t.TempDir()
+	src := "package broken\n\nfunc F() int { return undefinedName }\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDirs([]DirPkg{{Dir: dir, PkgPath: "testdata/broken"}})
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("err = %v, want type-checking failure", err)
+	}
+}
+
+func TestLoadParseFailure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc F( {\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		// go list itself rejects syntactically broken packages before the
+		// loader's own parser runs, so the failure surfaces as a list error.
+		t.Fatalf("err = %v, want a load failure", err)
+	}
+}
+
+func TestLoadPatternMatchesNothing(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"ok/ok.go": "package ok\n",
+	})
+	_, err := Load(dir, "./doesnotexist")
+	if err == nil || !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("err = %v, want go list failure for unmatched pattern", err)
+	}
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("Load outside any module succeeded, want error")
+	}
+}
+
+func TestExportLookupMissingData(t *testing.T) {
+	imp := exportLookup(token.NewFileSet(), map[string]string{})
+	_, err := imp.Import("fmt")
+	if err == nil || !strings.Contains(err.Error(), `no export data for "fmt"`) {
+		t.Fatalf("err = %v, want missing-export-data error", err)
+	}
+}
+
+func TestLoadDirsEmptyInput(t *testing.T) {
+	if _, err := LoadDirs(nil); err == nil || !strings.Contains(err.Error(), "no directories") {
+		t.Fatalf("err = %v, want no-directories error", err)
+	}
+}
+
+func TestLoadDirsNoGoFiles(t *testing.T) {
+	_, err := LoadDirs([]DirPkg{{Dir: t.TempDir(), PkgPath: "empty"}})
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Fatalf("err = %v, want no-Go-files error", err)
+	}
+}
+
+func TestLoadFilesMissingDir(t *testing.T) {
+	if _, err := LoadFiles(filepath.Join(t.TempDir(), "absent"), "absent"); err == nil {
+		t.Fatal("LoadFiles on a missing directory succeeded, want error")
 	}
 }
 

@@ -1,0 +1,20 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/lockcheck"
+)
+
+func TestCriticalSections(t *testing.T) {
+	analysistest.Run(t, "testdata/locked", lockcheck.Analyzer)
+}
+
+func TestRawObsInSpawningPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/obsspawn", lockcheck.Analyzer)
+}
+
+func TestRawObsAllowedWithoutGoroutines(t *testing.T) {
+	analysistest.Run(t, "testdata/obscalm", lockcheck.Analyzer)
+}

@@ -1,0 +1,117 @@
+// Package locked is lockcheck's critical-section golden package: every way
+// a goroutine can park while holding a sync.Mutex/RWMutex must be reported,
+// and the release-before-blocking idioms the real code uses (single-flight
+// handoff, early-unlock branches, goroutine spawn under lock) must not.
+package locked
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// recvHeld parks on a channel inside the critical section.
+func (b *box) recvHeld(ch chan int) int {
+	b.mu.Lock()
+	v := <-ch // want `channel receive while b\.mu is held`
+	b.mu.Unlock()
+	return v
+}
+
+// sendHeld blocks on an unbuffered send inside the critical section.
+func (b *box) sendHeld(ch chan int) {
+	b.mu.Lock()
+	ch <- b.n // want `channel send while b\.mu is held`
+	b.mu.Unlock()
+}
+
+// selectHeld parks on a select under a deferred unlock.
+func (b *box) selectHeld(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select while b\.mu is held`
+	case v := <-ch:
+		b.n = v
+	}
+}
+
+// sleepHeld holds a read lock across a sleep.
+func (b *box) sleepHeld() {
+	b.rw.RLock()
+	time.Sleep(time.Millisecond) // want `Sleep can block`
+	b.rw.RUnlock()
+}
+
+// waitHeld holds the lock across a WaitGroup join.
+func (b *box) waitHeld(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want `Wait can block`
+	b.mu.Unlock()
+}
+
+// drain is a callee the call graph can prove blocking.
+func drain(ch chan int) int { return <-ch }
+
+// transitiveHeld blocks through a call, not a direct channel op.
+func (b *box) transitiveHeld(ch chan int) int {
+	b.mu.Lock()
+	v := drain(ch) // want `drain can block`
+	b.mu.Unlock()
+	return v
+}
+
+// rangeHeld parks in the range clause every iteration.
+func (b *box) rangeHeld(ch chan int) int {
+	total := 0
+	b.mu.Lock()
+	for v := range ch { // want `range over a channel while b\.mu is held`
+		total += v
+	}
+	b.mu.Unlock()
+	return total
+}
+
+// unlockFirst releases before blocking. Not flagged.
+func (b *box) unlockFirst(ch chan int) int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return <-ch
+}
+
+// pureCritical only mutates memory under the lock. Not flagged.
+func (b *box) pureCritical() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// earlyRelease unlocks on the fast path before parking — the single-flight
+// handoff idiom. Not flagged.
+func (b *box) earlyRelease(ch chan int, fast bool) int {
+	b.mu.Lock()
+	if fast {
+		b.mu.Unlock()
+		return <-ch
+	}
+	b.n++
+	b.mu.Unlock()
+	return 0
+}
+
+// spawnHeld starts a goroutine while holding the lock; the goroutine itself
+// runs without it. Not flagged.
+func (b *box) spawnHeld(ch chan int, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	b.mu.Unlock()
+}

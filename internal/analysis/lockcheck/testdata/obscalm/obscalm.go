@@ -1,0 +1,17 @@
+// Package obscalm is lockcheck's negative observability golden package: it
+// never spawns a goroutine, so the single-writer obs.Registry fast path is
+// exactly what it should use. Nothing here is reported.
+package obscalm
+
+import "smartbadge/internal/obs"
+
+// rawSingleWriter is the simulator-style hot path: one goroutine, raw
+// pointers, no locks.
+func rawSingleWriter(n int) float64 {
+	r := obs.NewRegistry()
+	c := r.Counter("steps")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+	return c.Value()
+}

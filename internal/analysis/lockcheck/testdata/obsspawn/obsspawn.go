@@ -1,0 +1,39 @@
+// Package obsspawn is lockcheck's raw-observability golden package: it
+// spawns a goroutine, so every touch of the single-writer obs.Registry
+// family must be reported and the SyncRegistry handles must pass.
+package obsspawn
+
+import (
+	"sync"
+
+	"smartbadge/internal/obs"
+)
+
+// rawInSpawner instruments through the single-writer registry even though
+// this package forks concurrency.
+func rawInSpawner() float64 {
+	r := obs.NewRegistry() // want `obs\.NewRegistry is single-writer`
+	c := r.Counter("work") // want `raw obs\.Registry is single-writer`
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Inc() // want `raw obs\.Counter is single-writer`
+	}()
+	wg.Wait()
+	return c.Value() // want `raw obs\.Counter is single-writer`
+}
+
+// syncInSpawner routes through obs.SyncRegistry. Not flagged.
+func syncInSpawner() float64 {
+	r := obs.NewSyncRegistry()
+	c := r.Counter("work")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Inc()
+	}()
+	wg.Wait()
+	return c.Value()
+}

@@ -1,0 +1,21 @@
+// Package engine is wirecheck's out-of-scope golden package: it is not a
+// server package, so internal structs and debug formatting are free to use
+// maps, timestamps and %v. Nothing here is reported.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+type scratch struct {
+	ByName  map[string]float64 `json:"by_name"`
+	Started time.Time          `json:"started"`
+	Loose   int
+}
+
+func debugLine(x float64, t time.Time) string {
+	return fmt.Sprintf("%v at %v", x, t)
+}
+
+var _ = scratch{}

@@ -1,0 +1,90 @@
+// Package server is wirecheck's golden package: its import path ends in
+// "server", so the byte-identical-response rules apply to every DTO and
+// rendering call here.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// goodDTO is fully disciplined: tagged, map-free, time-free. Not flagged.
+type goodDTO struct {
+	Status  string  `json:"status"`
+	EnergyJ float64 `json:"energy_j"`
+	hidden  int
+}
+
+// badDTO breaks each structural rule once.
+type badDTO struct {
+	Status string         `json:"status"`
+	Extra  map[string]int `json:"extra"` // want `DTO badDTO carries a map field`
+	When   time.Time      `json:"when"`  // want `DTO badDTO carries a time\.Time field`
+	Plain  int            // want `DTO field badDTO\.Plain has no explicit json tag`
+}
+
+// plain has no tags at all; it becomes a DTO by being marshalled.
+type plain struct {
+	N int // want `DTO field plain\.N has no explicit json tag`
+}
+
+// outer pulls inner into the DTO set through its field.
+type outer struct {
+	Inner inner `json:"inner"`
+}
+
+// inner is only reachable as a field of outer.
+type inner struct {
+	V int // want `DTO field inner\.V has no explicit json tag`
+}
+
+// config never crosses the wire: untagged, unmarshalled, unflagged.
+type config struct {
+	Workers int
+	Routes  map[string]bool
+	Started time.Time
+}
+
+func render() ([]byte, error) {
+	return json.Marshal(plain{N: 1})
+}
+
+// doubleMarshal renders the same DTO twice.
+func doubleMarshal(v goodDTO) ([]byte, []byte) {
+	a, _ := json.Marshal(v)
+	b, _ := json.Marshal(v) // want `doubleMarshal marshals more than once`
+	return a, b
+}
+
+// singleMarshal is the canonical render path. Not flagged.
+func singleMarshal(v goodDTO) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// floatVerbV renders a float with %v.
+func floatVerbV(x float64) string {
+	return fmt.Sprintf("%v J", x) // want `float rendered via %v`
+}
+
+// floatSprint renders a float with Sprint's implicit %v.
+func floatSprint(x float64) string {
+	return fmt.Sprint(x) // want `float rendered via %v`
+}
+
+// floatExplicit uses an explicit, width-stable rendering. Not flagged.
+func floatExplicit(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// intSprint renders an int: %v on integers is width-stable. Not flagged.
+func intSprint(n int) string {
+	return fmt.Sprint(n)
+}
+
+// stampTime formats a timestamp into output.
+func stampTime(t time.Time) string {
+	return fmt.Sprintf("at %s", t) // want `time\.Time formatted into output`
+}

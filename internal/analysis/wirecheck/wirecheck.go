@@ -1,0 +1,427 @@
+// Package wirecheck enforces the serving layer's byte-identical-response
+// contract on its wire DTOs. The server promises that a given request body
+// always produces the same response bytes (handlers.go); that promise is
+// carried by structural discipline this analyzer checks in every package
+// whose import path ends in "server":
+//
+//  1. DTO structs carry an explicit `json` tag on every exported field —
+//     the wire name must never depend on a Go identifier rename.
+//  2. DTO structs carry no map fields and no time.Time fields: maps invite
+//     schema drift (and unsorted encodings elsewhere), timestamps are
+//     per-request state that breaks byte-identity by construction.
+//  3. Floats are never rendered through %v / fmt.Sprint (shortest
+//     round-trip digits vary in width across values; use
+//     strconv.FormatFloat with an explicit format), and time.Time is never
+//     formatted at all.
+//  4. A function marshals a DTO at most once: a second json.Marshal or
+//     Encoder.Encode in the same handler means two renderings that can
+//     drift apart.
+//
+// A DTO is any struct type declared in the package that either carries a
+// json tag on some field or is passed to an encoding/json call, plus —
+// transitively — every in-package struct reachable through its fields.
+package wirecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"smartbadge/internal/analysis"
+)
+
+// Analyzer is the wirecheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecheck",
+	Doc:  "enforce json-tagged, map-free, time-free DTOs and byte-stable rendering in server packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path[strings.LastIndex(path, "/")+1:] != "server" {
+		return nil
+	}
+	specs := structSpecs(pass)
+	dtos := collectDTOs(pass, specs)
+	for _, named := range sortedDTOs(dtos) {
+		if ts, ok := specs[named.Obj()]; ok {
+			checkDTO(pass, named, ts)
+		}
+	}
+	for _, f := range pass.Files {
+		checkFormatting(pass, f)
+	}
+	checkMarshalOnce(pass)
+	return nil
+}
+
+// structSpecs maps each struct type object declared in the package to its
+// AST spec (for tags and positions).
+func structSpecs(pass *analysis.Pass) map[types.Object]*ast.TypeSpec {
+	specs := make(map[types.Object]*ast.TypeSpec)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					specs[obj] = ts
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// collectDTOs seeds the DTO set (json-tagged structs, json call arguments)
+// and closes it over in-package field types.
+func collectDTOs(pass *analysis.Pass, specs map[types.Object]*ast.TypeSpec) map[*types.Named]bool {
+	dtos := make(map[*types.Named]bool)
+	var add func(t types.Type)
+	add = func(t types.Type) {
+		named := inPackageStruct(t, pass.Pkg)
+		if named == nil || dtos[named] {
+			return
+		}
+		dtos[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			add(st.Field(i).Type())
+		}
+	}
+
+	for obj, ts := range specs {
+		st := ts.Type.(*ast.StructType)
+		for _, field := range st.Fields.List {
+			if _, ok := jsonTag(field); ok {
+				add(obj.Type())
+				break
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg, ok := jsonPayloadArg(pass, call); ok {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok {
+					add(tv.Type)
+				}
+			}
+			return true
+		})
+	}
+	return dtos
+}
+
+// checkDTO applies the structural rules to one DTO declaration.
+func checkDTO(pass *analysis.Pass, named *types.Named, ts *ast.TypeSpec) {
+	st := ts.Type.(*ast.StructType)
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			pass.Reportf(field.Pos(),
+				"DTO %s carries a map field; wire schemas are fixed structs — model the keys explicitly",
+				named.Obj().Name())
+		}
+		if containsTimeTime(tv.Type) {
+			pass.Reportf(field.Pos(),
+				"DTO %s carries a time.Time field; responses are time-free by contract — timestamps break byte-identity",
+				named.Obj().Name())
+		}
+		if len(field.Names) == 0 {
+			continue // embedded: flattened fields are checked on their own decl
+		}
+		_, tagged := jsonTag(field)
+		for _, name := range field.Names {
+			if name.IsExported() && !tagged {
+				pass.Reportf(name.Pos(),
+					"DTO field %s.%s has no explicit json tag; the wire name must not depend on the Go identifier",
+					named.Obj().Name(), name.Name)
+			}
+		}
+	}
+}
+
+// checkFormatting flags float-%v and time.Time rendering through fmt.
+func checkFormatting(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := fmtCall(pass, call)
+		if !ok {
+			return true
+		}
+		var operands []ast.Expr
+		var verbList []byte
+		switch name {
+		case "Sprintf", "Printf", "Errorf", "Appendf":
+			operands, verbList = formatOperands(call.Args, 0)
+		case "Fprintf":
+			operands, verbList = formatOperands(call.Args, 1)
+		case "Sprint", "Sprintln", "Print", "Println", "Fprint", "Fprintln":
+			// No format string: every operand renders with %v semantics.
+			operands = call.Args
+			if name == "Fprint" || name == "Fprintln" {
+				operands = call.Args[1:]
+			}
+			verbList = bytes('v', len(operands))
+		default:
+			return true
+		}
+		for i, arg := range operands {
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok {
+				continue
+			}
+			verb := byte('v')
+			if i < len(verbList) {
+				verb = verbList[i]
+			}
+			if isFloat(tv.Type) && verb == 'v' {
+				pass.Reportf(arg.Pos(),
+					"float rendered via %%v uses shortest-round-trip digits that vary in width; use strconv.FormatFloat with an explicit format for byte-stable output")
+			}
+			if isTimeTime(tv.Type) {
+				pass.Reportf(arg.Pos(),
+					"time.Time formatted into output; server responses are time-free by contract")
+			}
+		}
+		return true
+	})
+}
+
+// checkMarshalOnce flags a second encoding-direction json call in one
+// function.
+func checkMarshalOnce(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			count := 0
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isJSONEncode(pass, call) {
+					return true
+				}
+				count++
+				if count > 1 {
+					pass.Reportf(call.Pos(),
+						"%s marshals more than once; render the DTO to bytes once and reuse them so one request cannot produce two encodings",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// jsonPayloadArg returns the payload argument of an encoding/json call
+// (either direction), if call is one.
+func jsonPayloadArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent", "Encode", "Decode":
+		if len(call.Args) >= 1 {
+			return call.Args[0], true
+		}
+	case "Unmarshal":
+		if len(call.Args) >= 2 {
+			return call.Args[1], true
+		}
+	}
+	return nil, false
+}
+
+// isJSONEncode reports an encoding-direction encoding/json call.
+func isJSONEncode(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+		return false
+	}
+	switch fn.Name() {
+	case "Marshal", "MarshalIndent", "Encode":
+		return true
+	}
+	return false
+}
+
+// fmtCall returns the function name if call targets package fmt.
+func fmtCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// formatOperands pairs the variadic operands of a formatted call with the
+// verb letters of its (literal) format string. A non-literal format yields
+// no verbs, so every operand defaults to %v (conservative).
+func formatOperands(args []ast.Expr, writerArgs int) ([]ast.Expr, []byte) {
+	if len(args) <= writerArgs {
+		return nil, nil
+	}
+	format := ""
+	if lit, ok := ast.Unparen(args[writerArgs]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			format = s
+		}
+	}
+	return args[writerArgs+1:], verbLetters(format)
+}
+
+// verbLetters extracts the verb letter of each %-directive in format,
+// skipping %% and flag/width/precision/index characters.
+func verbLetters(format string) []byte {
+	var out []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0123456789.*[]", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) {
+			out = append(out, format[i])
+		}
+	}
+	return out
+}
+
+func bytes(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// jsonTag returns the json struct tag of field, if present.
+func jsonTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+// inPackageStruct unwraps pointers/slices/arrays and returns the named
+// struct type declared in pkg, or nil.
+func inPackageStruct(t types.Type, pkg *types.Package) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg() != pkg {
+				return nil
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return nil
+			}
+			return named
+		}
+	}
+}
+
+// containsTimeTime reports whether t is time.Time, possibly behind a
+// pointer/slice/array.
+func containsTimeTime(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return isTimeTime(t)
+		}
+	}
+}
+
+func isTimeTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// sortedDTOs returns the DTO set ordered by type name for deterministic
+// reporting.
+func sortedDTOs(dtos map[*types.Named]bool) []*types.Named {
+	out := make([]*types.Named, 0, len(dtos))
+	for named := range dtos {
+		out = append(out, named)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Obj().Name() > out[j].Obj().Name(); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

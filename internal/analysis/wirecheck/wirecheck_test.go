@@ -1,0 +1,16 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"smartbadge/internal/analysis/analysistest"
+	"smartbadge/internal/analysis/wirecheck"
+)
+
+func TestServerPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/server", wirecheck.Analyzer)
+}
+
+func TestNonServerPackageOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata/engine", wirecheck.Analyzer)
+}
