@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartbadge/internal/ckpt"
+)
+
+// TestCheckpointRestoreByteIdentical: the second run over the same -ckpt
+// directory restores the report bytes without simulating — proven by the
+// telemetry sink staying unwritten, since only the simulating path opens
+// artifacts.
+func TestCheckpointRestoreByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1,
+		thrCache: "off", ckptDir: filepath.Join(dir, "ckpt")}
+
+	var first bytes.Buffer
+	if err := run(&first, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("first run produced no report")
+	}
+
+	metrics := filepath.Join(dir, "restored.metrics.json")
+	cfg.metricsOut = metrics
+	var second bytes.Buffer
+	if err := run(&second, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != first.String() {
+		t.Errorf("restored report differs:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+	if _, err := os.Stat(metrics); !os.IsNotExist(err) {
+		t.Errorf("restore path wrote telemetry (%v); it should not have simulated", err)
+	}
+}
+
+// TestCheckpointRefusesOtherConfig: the same directory under a different
+// seed is a different run and must be refused, not silently replayed.
+func TestCheckpointRefusesOtherConfig(t *testing.T) {
+	cfg := runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1,
+		thrCache: "off", ckptDir: filepath.Join(t.TempDir(), "ckpt")}
+	if err := run(bytes.NewBuffer(nil), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.seed = 2
+	if err := run(bytes.NewBuffer(nil), cfg); !errors.Is(err, ckpt.ErrResumeMismatch) {
+		t.Fatalf("err = %v, want ErrResumeMismatch", err)
+	}
+}
+
+// TestHashCoversFileContent: editing the badge table changes the
+// checkpoint key even though the flag value (the path) is unchanged.
+func TestHashCoversFileContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "badge.json")
+	if err := os.WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: path}
+	h1, err := hashRunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := hashRunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("badge file edit did not change the hash")
+	}
+	// Sinks and worker count are not part of the key.
+	cfg2 := cfg
+	cfg2.workers, cfg2.metricsOut, cfg2.thrCache = 8, "x.json", "off"
+	h3, err := hashRunConfig(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 != h2 {
+		t.Error("telemetry/worker knobs changed the hash")
+	}
+	cfg.badgeFile = filepath.Join(dir, "missing.json")
+	if _, err := hashRunConfig(cfg); err == nil {
+		t.Error("missing badge file hashed without error")
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -10,13 +11,13 @@ import (
 )
 
 func TestRunMP3(t *testing.T) {
-	if err := run(runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1}); err != nil {
+	if err := run(io.Discard, runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMPEGWithDPM(t *testing.T) {
-	if err := run(runConfig{app: "mpeg", clip: "football", pol: "max", dpmMode: "timeout", timeout: 0.5, seed: 1}); err != nil {
+	if err := run(io.Discard, runConfig{app: "mpeg", clip: "football", pol: "max", dpmMode: "timeout", timeout: 0.5, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,7 +33,7 @@ func TestRunErrors(t *testing.T) {
 		{"mp3", "A", "", "ideal", "bogus"},
 	}
 	for i, c := range cases {
-		if err := run(runConfig{app: c.app, seq: c.seq, clip: c.clip, pol: c.pol, dpmMode: c.dpm, seed: 1}); err == nil {
+		if err := run(io.Discard, runConfig{app: c.app, seq: c.seq, clip: c.clip, pol: c.pol, dpmMode: c.dpm, seed: 1}); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
@@ -54,10 +55,10 @@ func TestRunTraceReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(runConfig{app: "mp3", pol: "ideal", dpmMode: "none", seed: 1, traceFile: path, timeline: true}); err != nil {
+	if err := run(io.Discard, runConfig{app: "mp3", pol: "ideal", dpmMode: "none", seed: 1, traceFile: path, timeline: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(runConfig{app: "mp3", pol: "ideal", dpmMode: "none", seed: 1, traceFile: dir + "/missing.csv"}); err == nil {
+	if err := run(io.Discard, runConfig{app: "mp3", pol: "ideal", dpmMode: "none", seed: 1, traceFile: dir + "/missing.csv"}); err == nil {
 		t.Error("missing trace file accepted")
 	}
 }
@@ -73,10 +74,10 @@ func TestRunWithBadgeFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: path}); err != nil {
+	if err := run(io.Discard, runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: dir + "/missing.json"}); err == nil {
+	if err := run(io.Discard, runConfig{app: "mp3", seq: "A", pol: "ideal", dpmMode: "none", seed: 1, badgeFile: dir + "/missing.json"}); err == nil {
 		t.Error("missing badge file accepted")
 	}
 }
@@ -88,7 +89,7 @@ func TestRunObservabilityArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	metrics := dir + "/run.metrics.json"
 	trace := dir + "/run.trace.jsonl"
-	if err := run(runConfig{
+	if err := run(io.Discard, runConfig{
 		app: "mp3", seq: "A", pol: "changepoint", dpmMode: "timeout",
 		seed: 1, metricsOut: metrics, traceOut: trace,
 	}); err != nil {

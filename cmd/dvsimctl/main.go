@@ -1,0 +1,111 @@
+// Command dvsimctl is the dvsimd client CLI: it posts requests through the
+// retrying internal/client (capped exponential backoff with seeded jitter,
+// the daemon's Retry-After hints honoured, context-deadline aware) and
+// prints the daemon's raw response bytes — byte-deterministic 200 bodies
+// come out exactly as the daemon rendered them, so scripts can cmp them.
+//
+//	dvsimctl fleet      -addr http://127.0.0.1:8080 -body '{"badges":12,"seed":7}'
+//	dvsimctl run        -addr http://127.0.0.1:8080 -body '{"app":"mp3","seed":1}'
+//	dvsimctl thresholds -addr http://127.0.0.1:8080 -body '{"rates":[10,20,40]}'
+//	dvsimctl health     -addr http://127.0.0.1:8080
+//
+// -body - reads the request body from stdin. Exit status 1 covers usage
+// and transport failures as well as non-2xx daemon answers (whose bodies
+// still print, on stderr).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"smartbadge/internal/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsimctl:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches the subcommand; out receives the raw response body,
+// errOut diagnostics and non-2xx bodies, in backs `-body -`.
+func run(args []string, out, errOut io.Writer, in io.Reader) error {
+	if len(args) < 1 {
+		return errors.New("usage: dvsimctl fleet|run|thresholds|health [flags]")
+	}
+	sub := args[0]
+	needsBody := true
+	switch sub {
+	case "fleet", "run", "thresholds":
+	case "health":
+		needsBody = false
+	default:
+		return fmt.Errorf("unknown subcommand %q (want fleet, run, thresholds or health)", sub)
+	}
+
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+		body     = fs.String("body", "", "JSON request body; - reads stdin")
+		attempts = fs.Int("attempts", client.DefaultMaxAttempts, "total attempts before giving up")
+		timeoutS = fs.Int("timeout", 0, "overall deadline in seconds; 0 means none")
+		seed     = fs.Uint64("seed", 0, "backoff jitter seed")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var payload []byte
+	if needsBody {
+		switch *body {
+		case "":
+			return fmt.Errorf("%s needs -body (JSON, or - for stdin)", sub)
+		case "-":
+			b, err := io.ReadAll(in)
+			if err != nil {
+				return fmt.Errorf("reading body from stdin: %w", err)
+			}
+			payload = b
+		default:
+			payload = []byte(*body)
+		}
+	}
+
+	c, err := client.New(client.Config{BaseURL: *addr, MaxAttempts: *attempts, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeoutS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(*timeoutS)*time.Second)
+		defer cancel()
+	}
+
+	var resp []byte
+	switch sub {
+	case "fleet":
+		resp, err = c.Fleet(ctx, payload)
+	case "run":
+		resp, err = c.Run(ctx, payload)
+	case "thresholds":
+		resp, err = c.Thresholds(ctx, payload)
+	case "health":
+		resp, err = c.Health(ctx)
+	}
+	if err != nil {
+		var se *client.StatusError
+		if errors.As(err, &se) && len(se.Body) > 0 {
+			errOut.Write(se.Body)
+		}
+		return err
+	}
+	_, err = out.Write(resp)
+	return err
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// echoDaemon answers like dvsimd enough for CLI tests: fixed bodies per
+// path, 400 with a JSON error for the /bad path.
+func echoDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/fleet":
+			body := make([]byte, r.ContentLength)
+			r.Body.Read(body)
+			if strings.Contains(string(body), `"badges":0`) {
+				w.WriteHeader(http.StatusBadRequest)
+				w.Write([]byte("{\"status\":\"error\",\"error\":\"badges must be >= 1, got 0\"}\n"))
+				return
+			}
+			w.Write([]byte("{\"status\":\"ok\",\"agg\":{}}\n"))
+		case "/healthz":
+			w.Write([]byte("{\"status\":\"ok\"}\n"))
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+}
+
+func TestFleetPrintsRawBody(t *testing.T) {
+	ts := echoDaemon(t)
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	err := run([]string{"fleet", "-addr", ts.URL, "-body", `{"badges":3,"seed":7}`}, &out, &errOut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "{\"status\":\"ok\",\"agg\":{}}\n" {
+		t.Errorf("stdout = %q, want the daemon's bytes verbatim", out.String())
+	}
+}
+
+func TestBodyFromStdin(t *testing.T) {
+	ts := echoDaemon(t)
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	err := run([]string{"fleet", "-addr", ts.URL, "-body", "-"},
+		&out, &errOut, strings.NewReader(`{"badges":3,"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"ok"`) {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+func TestHealthNeedsNoBody(t *testing.T) {
+	ts := echoDaemon(t)
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	if err := run([]string{"health", "-addr", ts.URL}, &out, &errOut, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "{\"status\":\"ok\"}\n" {
+		t.Errorf("stdout = %q", out.String())
+	}
+}
+
+// TestServerErrorSurfacesBody: a 400 exits non-zero and the daemon's error
+// body lands on stderr, not stdout (stdout stays cmp-clean).
+func TestServerErrorSurfacesBody(t *testing.T) {
+	ts := echoDaemon(t)
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	err := run([]string{"fleet", "-addr", ts.URL, "-body", `{"badges":0}`}, &out, &errOut, nil)
+	if err == nil {
+		t.Fatal("400 response reported success")
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout = %q, want empty on failure", out.String())
+	}
+	if !strings.Contains(errOut.String(), "badges must be >= 1") {
+		t.Errorf("stderr = %q, want the daemon's error body", errOut.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for name, args := range map[string][]string{
+		"no subcommand": {},
+		"unknown":       {"destroy"},
+		"missing body":  {"fleet", "-addr", "http://127.0.0.1:1"},
+	} {
+		if err := run(args, &out, &errOut, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

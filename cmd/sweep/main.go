@@ -4,9 +4,16 @@
 //	sweep -what wakeprob      # performance-constrained DPM sweep
 //	sweep -what resilience    # fault scenarios x policy configurations
 //	sweep -what fleet -fleet 24 -j 4   # batch of heterogeneous badge sims
+//
+// The fleet sweep is crash-safe with -ckpt DIR: completed badges are
+// journaled there (internal/ckpt) and a killed run resumed with the same
+// flags skips them, producing byte-identical CSV. -ckpt-kill-after N is
+// the chaos knob behind the CI crash/resume smoke: it hard-kills the
+// process (exit status 3) after N journal appends.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"smartbadge/internal/ckpt"
 	"smartbadge/internal/experiments"
 	"smartbadge/internal/fleet"
 	"smartbadge/internal/obs"
@@ -33,18 +41,32 @@ func main() {
 		// wake-probability constraint only binds once it drops below the
 		// frequency of the long inter-clip gaps (~2e-4 of idle periods on
 		// the combined workload); the default sweep crosses that point.
-		probs      = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
-		workers    = flag.Int("j", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); results are identical for any value")
-		fleetN     = flag.Int("fleet", 24, "fleet sweep: number of badge simulations in the batch")
-		thrCache   = flag.String("thr-cache", "auto", "threshold cache: auto | off | DIR (auto = per-user cache dir)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
-		traceOut   = flag.String("trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
+		probs         = flag.String("probs", "1,0.01,0.001,0.0002,0.00015,0.0001", "wake-probability constraints (wakeprob sweep)")
+		workers       = flag.Int("j", 0, "worker goroutines for the sweep (0 = GOMAXPROCS); results are identical for any value")
+		fleetN        = flag.Int("fleet", 24, "fleet sweep: number of badge simulations in the batch")
+		thrCache      = flag.String("thr-cache", "auto", "threshold cache: auto | off | DIR (auto = per-user cache dir)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		metricsOut    = flag.String("metrics-out", "", "write a metrics snapshot (JSON) plus a run manifest to this file")
+		traceOut      = flag.String("trace-out", "", "write a structured event trace (JSONL) plus a run manifest to this file")
+		ckptDir       = flag.String("ckpt", "", "fleet sweep: checkpoint directory for crash-safe resume")
+		ckptKillAfter = flag.Int("ckpt-kill-after", 0, "chaos: kill the process (exit 3) after N checkpoint appends")
 	)
 	flag.Parse()
 
 	err := prof.WithCPUProfile(*cpuprofile, func() error {
-		return run(os.Stdout, *what, *seed, *probs, *faultsFlag, *workers, *fleetN, *thrCache, *metricsOut, *traceOut)
+		return run(os.Stdout, sweepConfig{
+			what:          *what,
+			seed:          *seed,
+			probs:         *probs,
+			faults:        *faultsFlag,
+			workers:       *workers,
+			fleetN:        *fleetN,
+			thrCache:      *thrCache,
+			metricsOut:    *metricsOut,
+			traceOut:      *traceOut,
+			ckptDir:       *ckptDir,
+			ckptKillAfter: *ckptKillAfter,
+		})
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -52,13 +74,30 @@ func main() {
 	}
 }
 
-func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, workers, fleetN int, thrCache, metricsOut, traceOut string) error {
-	cache, err := thrcache.Open(thrCache)
+// sweepConfig is the parsed flag set handed to run.
+type sweepConfig struct {
+	what          string
+	seed          uint64
+	probs         string
+	faults        string
+	workers       int
+	fleetN        int
+	thrCache      string
+	metricsOut    string
+	traceOut      string
+	ckptDir       string
+	ckptKillAfter int
+}
+
+func run(w io.Writer, sc sweepConfig) error {
+	what, seed, workers := sc.what, sc.seed, sc.workers
+	probsFlag, faultsFlag, fleetN := sc.probs, sc.faults, sc.fleetN
+	cache, err := thrcache.Open(sc.thrCache)
 	if err != nil {
 		return err
 	}
 	experiments.SetThresholdCache(cache)
-	art, err := obs.OpenArtifacts(metricsOut, traceOut, obs.NewManifest("sweep", seed, workers, map[string]any{
+	art, err := obs.OpenArtifacts(sc.metricsOut, sc.traceOut, obs.NewManifest("sweep", seed, workers, map[string]any{
 		"what":   what,
 		"probs":  probsFlag,
 		"faults": faultsFlag,
@@ -152,9 +191,29 @@ func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, wo
 		if fleetN <= 0 {
 			return fmt.Errorf("fleet sweep needs -fleet >= 1, got %d", fleetN)
 		}
+		fcfg := fleetConfigOf(sc)
+		var journal fleet.Journal
+		if sc.ckptDir != "" {
+			hash, err := fcfg.Hash()
+			if err != nil {
+				return err
+			}
+			store, err := ckpt.Open(sc.ckptDir, hash, fleetN, ckpt.Options{KillAfterAppends: sc.ckptKillAfter})
+			if err != nil {
+				return err
+			}
+			defer store.Close()
+			if st := store.Stats(); st.Restored > 0 || st.Dropped > 0 {
+				// Resume telemetry is stderr-only, like throughput: stdout
+				// must stay byte-identical to an uninterrupted run.
+				fmt.Fprintf(os.Stderr, "fleet: resuming from %s (%d restored, %d dropped, healed=%t)\n",
+					sc.ckptDir, st.Restored, st.Dropped, st.Healed)
+			}
+			journal = store
+		}
 		stop := o.Registry().Timer("sweep.fleet").Start()
 		started := time.Now()
-		rep, err := fleet.Run(fleet.Config{Badges: fleetN, Seed: seed, Workers: workers})
+		rep, err := fleet.RunResumeCtx(context.Background(), fcfg, journal)
 		elapsed := time.Since(started)
 		stop()
 		if err != nil {
@@ -176,8 +235,12 @@ func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, wo
 				})
 			}
 		}
-		// Aggregates ride along as CSV comments: still deterministic, still on
-		// stdout, ignorable by plotting scripts.
+		// Failures and aggregates ride along as CSV comments: still
+		// deterministic, still on stdout, ignorable by plotting scripts.
+		for _, f := range rep.Failed {
+			fmt.Fprintf(w, "# failed badge=%d app=%s policy=%s dpm=%s error=%s\n",
+				f.Index, f.Spec.App, f.Spec.Policy, f.Spec.DPM, f.Cause)
+		}
 		a := rep.Agg
 		fmt.Fprintf(w, "# runs=%d total_energy_j=%.6f total_sim_s=%.3f\n", a.Runs, a.TotalEnergyJ, a.TotalSimS)
 		fmt.Fprintf(w, "# energy_j p50=%.6f p90=%.6f p99=%.6f\n", a.EnergyP50J, a.EnergyP90J, a.EnergyP99J)
@@ -192,6 +255,12 @@ func run(w io.Writer, what string, seed uint64, probsFlag, faultsFlag string, wo
 	default:
 		return fmt.Errorf("unknown sweep %q (want pareto|wakeprob|resilience|fleet)", what)
 	}
+}
+
+// fleetConfigOf lowers the sweep flags to the batch config — the one
+// place it happens, so the checkpoint config hash always matches the run.
+func fleetConfigOf(sc sweepConfig) fleet.Config {
+	return fleet.Config{Badges: sc.fleetN, Seed: sc.seed, Workers: sc.workers}
 }
 
 func parseProbs(s string) ([]float64, error) {

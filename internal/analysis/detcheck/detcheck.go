@@ -41,12 +41,19 @@ import (
 // layer (wall-clock latency metrics, scheduling, sockets); its determinism
 // obligation — identical request bodies produce byte-identical response
 // bodies — is enforced by its own tests, while everything it calls into
-// (parallel, fleet, changepoint) stays under this analyzer.
+// (parallel, fleet, changepoint) stays under this analyzer. ckpt IS listed
+// even though it owns disk I/O: unlike thrcache, everything it writes and
+// returns (journal records, manifest, restore order) must be a pure
+// function of its inputs, with no wall-clock stamps or ambient randomness,
+// or crash/resume stops being byte-identical. client is deliberately NOT
+// listed — retry backoff is wall-clock timing by nature (timers, jittered
+// sleeps); its determinism obligation (same seed, same delay schedule) is
+// enforced by its own tests.
 var DeterministicPkgs = map[string]bool{
 	"sim": true, "stats": true, "parallel": true, "changepoint": true,
 	"policy": true, "dpm": true, "tismdp": true, "markov": true,
 	"mdp": true, "queue": true, "workload": true, "obs": true,
-	"faults": true, "fleet": true,
+	"faults": true, "fleet": true, "ckpt": true,
 }
 
 // forbiddenTimeFuncs are the wall-clock and timer entry points of package

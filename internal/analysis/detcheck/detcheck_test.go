@@ -24,13 +24,17 @@ func TestTransitiveReach(t *testing.T) {
 }
 
 // TestMembership pins the determinism roster: fleet (batch reports must be
-// worker-count invariant) is covered; thrcache is deliberately exempt — its
+// worker-count invariant) and ckpt (journal/manifest bytes and restore
+// order must be pure functions of their inputs, or crash/resume stops
+// being byte-identical) are covered; thrcache is deliberately exempt — its
 // disk I/O is environment-dependent and its bit-identity obligation is
-// enforced by its own tests instead — and so is server, the transport layer
-// (wall-clock latency metrics, sockets), whose identical-request ⇒
-// byte-identical-response obligation is likewise pinned by its own tests.
+// enforced by its own tests instead — and so are server, the transport
+// layer (wall-clock latency metrics, sockets), whose identical-request ⇒
+// byte-identical-response obligation is likewise pinned by its own tests,
+// and client, whose retry backoff is wall-clock timing by nature and whose
+// seeded-jitter reproducibility is proven by its own tests.
 func TestMembership(t *testing.T) {
-	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet", "parallel"} {
+	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet", "parallel", "ckpt"} {
 		if !detcheck.DeterministicPkgs[pkg] {
 			t.Errorf("package %q missing from DeterministicPkgs", pkg)
 		}
@@ -40,5 +44,8 @@ func TestMembership(t *testing.T) {
 	}
 	if detcheck.DeterministicPkgs["server"] {
 		t.Error("server must stay exempt from detcheck (transport layer); its response byte-identity is proven by its own tests")
+	}
+	if detcheck.DeterministicPkgs["client"] {
+		t.Error("client must stay exempt from detcheck (retry timing is wall-clock by nature); its seeded backoff schedule is proven by its own tests")
 	}
 }

@@ -1,0 +1,11 @@
+package ckpt
+
+// SetExitForTest replaces the KillAfterAppends process-kill seam and
+// returns a restore func. The replacement is allowed to return (unlike
+// os.Exit), in which case Append continues normally — tests use this to
+// observe the kill point without dying.
+func SetExitForTest(f func(code int)) (restore func()) {
+	old := exitFn
+	exitFn = f
+	return func() { exitFn = old }
+}

@@ -1,0 +1,241 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordedSleep is a Sleep seam that records delays instead of waiting.
+type recordedSleep struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (r *recordedSleep) sleep(ctx context.Context, d time.Duration) error {
+	r.mu.Lock()
+	r.delays = append(r.delays, d)
+	r.mu.Unlock()
+	return ctx.Err()
+}
+
+// newTestClient builds a client against ts with instant sleeps.
+func newTestClient(t *testing.T, ts *httptest.Server, rec *recordedSleep) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: ts.URL, Seed: 1, Sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSuccessReturnsRawBytes: a 200 comes back verbatim — bytes, not a
+// parse — with zero retries spent.
+func TestSuccessReturnsRawBytes(t *testing.T) {
+	const body = "{\"status\":\"ok\"}\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fleet" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		w.Write([]byte(body))
+	}))
+	defer ts.Close()
+	rec := &recordedSleep{}
+	got, err := newTestClient(t, ts, rec).Fleet(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body {
+		t.Errorf("body = %q, want %q", got, body)
+	}
+	if len(rec.delays) != 0 {
+		t.Errorf("slept %v on a clean request", rec.delays)
+	}
+}
+
+// TestRetriesShedThenSucceeds: two 429s then a 200 — the client waits and
+// wins, and the caller never sees the sheds.
+func TestRetriesShedThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	rec := &recordedSleep{}
+	got, err := newTestClient(t, ts, rec).Fleet(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ok\n" || calls.Load() != 3 {
+		t.Errorf("body %q after %d calls, want ok after 3", got, calls.Load())
+	}
+	if len(rec.delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(rec.delays))
+	}
+	for _, d := range rec.delays {
+		// Retry-After: 1 outranks the sub-second computed backoff.
+		if d != time.Second {
+			t.Errorf("delay %v, want the server's 1s hint as the floor", d)
+		}
+	}
+}
+
+// TestBackoffGrowsWithJitter pins the schedule shape against transport
+// errors (no Retry-After in play): nominal backoff doubles per retry,
+// capped, and each actual delay lands in [nominal/2, nominal).
+func TestBackoffGrowsWithJitter(t *testing.T) {
+	rec := &recordedSleep{}
+	c, err := New(Config{
+		BaseURL:     "http://127.0.0.1:1", // nothing listens on port 1
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  150 * time.Millisecond,
+		Seed:        7,
+		Sleep:       rec.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+	nominal := []time.Duration{100 * time.Millisecond, 150 * time.Millisecond, 150 * time.Millisecond}
+	if len(rec.delays) != len(nominal) {
+		t.Fatalf("slept %v, want %d delays", rec.delays, len(nominal))
+	}
+	for i, d := range rec.delays {
+		if d < nominal[i]/2 || d >= nominal[i] {
+			t.Errorf("delay %d = %v, want in [%v, %v)", i, d, nominal[i]/2, nominal[i])
+		}
+	}
+
+	// Same seed, same schedule: the jitter is deterministic.
+	rec2 := &recordedSleep{}
+	c2, err := New(Config{
+		BaseURL: "http://127.0.0.1:1", MaxAttempts: 4,
+		BaseBackoff: 100 * time.Millisecond, MaxBackoff: 150 * time.Millisecond,
+		Seed: 7, Sleep: rec2.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Health(context.Background())
+	for i := range rec.delays {
+		if rec.delays[i] != rec2.delays[i] {
+			t.Errorf("delay %d differs across same-seed clients: %v vs %v", i, rec.delays[i], rec2.delays[i])
+		}
+	}
+}
+
+// TestNonRetryableFailsFast: a 400 means the request itself is wrong;
+// resending it would burn attempts to get the same answer.
+func TestNonRetryableFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"status":"error","error":"badges must be >= 1"}`))
+	}))
+	defer ts.Close()
+	rec := &recordedSleep{}
+	_, err := newTestClient(t, ts, rec).Fleet(context.Background(), []byte(`{}`))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if !strings.Contains(string(se.Body), "badges must be >= 1") {
+		t.Errorf("error body lost: %q", se.Body)
+	}
+	if calls.Load() != 1 || len(rec.delays) != 0 {
+		t.Errorf("calls=%d sleeps=%d, want exactly one attempt", calls.Load(), len(rec.delays))
+	}
+}
+
+// TestExhaustionSurfacesLastStatus: a daemon that drains forever costs
+// MaxAttempts tries and then reports the 503 it kept hitting.
+func TestExhaustionSurfacesLastStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	rec := &recordedSleep{}
+	c, err := New(Config{BaseURL: ts.URL, MaxAttempts: 3, Seed: 1, Sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped StatusError 503", err)
+	}
+	if se.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want the server's 2s hint", se.RetryAfter)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("made %d attempts, want 3", calls.Load())
+	}
+}
+
+// TestDeadlineCutsWaitShort: the context deadline lands during a backoff
+// wait (the daemon asked for 60s) and the call returns promptly with the
+// context error, not after the hint.
+func TestDeadlineCutsWaitShort(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "60")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c, err := New(Config{BaseURL: ts.URL, Seed: 1}) // real sleepCtx
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Fleet(ctx, []byte(`{}`))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to land; the 60s hint was slept through", elapsed)
+	}
+}
+
+// TestPreCancelledContext never even dials.
+func TestPreCancelledContext(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := newTestClient(t, ts, &recordedSleep{}).Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("dead context still dialed the server %d times", calls.Load())
+	}
+}
+
+// TestConfigValidation: a client without a BaseURL is unusable.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty BaseURL accepted")
+	}
+}

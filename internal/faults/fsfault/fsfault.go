@@ -1,0 +1,321 @@
+// Package fsfault is the filesystem half of the fault-injection layer: an
+// injectable seam between the durable stores (internal/thrcache,
+// internal/ckpt) and the operating system, plus a chaos wrapper that
+// perturbs that seam with seeded, deterministic fault plans.
+//
+// The sibling sim-level engine (internal/faults) breaks the paper's
+// statistical assumptions *inside* the simulated world; this package breaks
+// the serving substrate's assumptions about the real world: disks fill up
+// (ENOSPC), processes die halfway through a write (torn write), crash
+// after writing a temp file but before the rename that publishes it
+// (crash-before-rename), and media silently flips bits at rest (bit-rot).
+// Every store that claims crash-safety must keep its invariants under all
+// four, and the chaos wrapper makes each one reproducible from a seed so
+// the recovery paths are regression-testable instead of anecdotal.
+//
+// # Fault semantics
+//
+// A Plan arms exactly one fault at the Op-th operation of its kind
+// (1-based; writes for ENOSPC/torn, renames for crash-before-rename, reads
+// for bit-rot). ENOSPC persists a seeded prefix of the write and returns
+// ENOSPC — and the disk stays full, so later writes fail too. TornWrite
+// and CrashBeforeRename model a process death: the faulted operation
+// leaves its partial state on disk and every subsequent operation fails
+// with ErrCrashed, exactly as if the process had been SIGKILLed — the test
+// then reopens the directory with the plain OS seam and asserts recovery.
+// BitRot flips one seeded bit in the returned data and hits only the read
+// path; the file on disk is untouched.
+//
+// Determinism: the prefix length and the flipped bit position are drawn
+// from a stats.RNG seeded by the plan, so a (Plan, workload) pair damages
+// the store identically on every run.
+package fsfault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+
+	"smartbadge/internal/stats"
+)
+
+// File is the writable-file surface the stores need: write, durably sync,
+// close, and report the path for a later rename.
+type File interface {
+	Write(p []byte) (int, error)
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam shared by thrcache and ckpt. Implementations
+// are safe for concurrent use (the OS is; Chaos serialises its counters).
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	// ReadDirNames returns the directory's entry names in sorted order.
+	ReadDirNames(dir string) ([]string, error)
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens path for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+}
+
+// osFS is the production seam: the operating system, unperturbed.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)        { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                    { return os.Remove(path) }
+
+func (osFS) ReadDirNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil // os.ReadDir sorts by name
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Kind names a fault plan.
+type Kind string
+
+// The four fault plans every crash-safe store must survive.
+const (
+	// ENOSPC: the Op-th write persists a seeded prefix and fails with
+	// syscall.ENOSPC; the disk stays full for all later writes.
+	ENOSPC Kind = "enospc"
+	// TornWrite: the Op-th write persists a seeded prefix and the process
+	// "dies" — that write and every later operation fail with ErrCrashed.
+	TornWrite Kind = "torn"
+	// CrashBeforeRename: the Op-th rename never happens and the process
+	// "dies" — the temp file stays, the target is never published.
+	CrashBeforeRename Kind = "crash-rename"
+	// BitRot: the Op-th ReadFile returns the data with one seeded bit
+	// flipped; the file at rest is untouched.
+	BitRot Kind = "bitrot"
+)
+
+// Plan arms one fault at the Op-th operation of the kind's category
+// (1-based). Seed drives the torn-prefix length and the rotted bit.
+type Plan struct {
+	Kind Kind
+	Op   int
+	Seed uint64
+}
+
+// ErrCrashed is returned by every operation after a TornWrite or
+// CrashBeforeRename plan fires: the simulated process is dead and nothing
+// it does afterwards reaches the disk.
+var ErrCrashed = errors.New("fsfault: process crashed (simulated)")
+
+// ChaosFS perturbs an inner FS according to one Plan. Safe for concurrent
+// use; operation counters are global across files, which keeps a plan's
+// target deterministic for serial workloads (the store tests).
+type ChaosFS struct {
+	inner FS
+	plan  Plan
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	writes  int
+	renames int
+	reads   int
+	crashed bool
+	full    bool
+}
+
+// Chaos wraps inner with the given plan.
+func Chaos(inner FS, plan Plan) *ChaosFS {
+	return &ChaosFS{inner: inner, plan: plan, rng: stats.NewRNG(plan.Seed)}
+}
+
+// Fired reports whether the plan's fault has triggered yet.
+func (c *ChaosFS) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed || c.full || (c.plan.Kind == BitRot && c.reads >= c.plan.Op)
+}
+
+func (c *ChaosFS) MkdirAll(dir string, perm os.FileMode) error {
+	if err := c.aliveErr(); err != nil {
+		return err
+	}
+	return c.inner.MkdirAll(dir, perm)
+}
+
+func (c *ChaosFS) ReadFile(path string) ([]byte, error) {
+	if err := c.aliveErr(); err != nil {
+		return nil, err
+	}
+	data, err := c.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reads++
+	if c.plan.Kind == BitRot && c.reads == c.plan.Op && len(data) > 0 {
+		rot := append([]byte(nil), data...)
+		bit := int(c.rng.Uint64() % uint64(len(rot)*8))
+		rot[bit/8] ^= 1 << (bit % 8)
+		return rot, nil
+	}
+	return data, nil
+}
+
+func (c *ChaosFS) ReadDirNames(dir string) ([]string, error) {
+	if err := c.aliveErr(); err != nil {
+		return nil, err
+	}
+	return c.inner.ReadDirNames(dir)
+}
+
+func (c *ChaosFS) Rename(oldpath, newpath string) error {
+	if err := c.aliveErr(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.renames++
+	if c.plan.Kind == CrashBeforeRename && c.renames == c.plan.Op {
+		c.crashed = true
+		c.mu.Unlock()
+		return ErrCrashed
+	}
+	c.mu.Unlock()
+	return c.inner.Rename(oldpath, newpath)
+}
+
+func (c *ChaosFS) Remove(path string) error {
+	if err := c.aliveErr(); err != nil {
+		return err
+	}
+	return c.inner.Remove(path)
+}
+
+func (c *ChaosFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := c.aliveErr(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, inner: f}, nil
+}
+
+func (c *ChaosFS) OpenAppend(path string) (File, error) {
+	if err := c.aliveErr(); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, inner: f}, nil
+}
+
+// aliveErr reports the standing failure state: dead after a crash plan
+// fired, nothing else.
+func (c *ChaosFS) aliveErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// chaosFile routes writes through the plan's write counter.
+type chaosFile struct {
+	fs    *ChaosFS
+	inner File
+}
+
+func (f *chaosFile) Name() string { return f.inner.Name() }
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	if c.crashed {
+		c.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if c.full {
+		c.mu.Unlock()
+		return 0, syscall.ENOSPC
+	}
+	c.writes++
+	if c.writes == c.plan.Op && (c.plan.Kind == ENOSPC || c.plan.Kind == TornWrite) {
+		// Persist a seeded strict prefix, then fail.
+		n := 0
+		if len(p) > 0 {
+			n = int(c.rng.Uint64() % uint64(len(p)))
+		}
+		var failErr error
+		if c.plan.Kind == ENOSPC {
+			c.full = true
+			failErr = syscall.ENOSPC
+		} else {
+			c.crashed = true
+			failErr = ErrCrashed
+		}
+		c.mu.Unlock()
+		if n > 0 {
+			if _, err := f.inner.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return n, failErr
+	}
+	c.mu.Unlock()
+	return f.inner.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	if err := f.fs.aliveErr(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *chaosFile) Close() error {
+	// Closing is allowed even "after death": the OS closes a dead
+	// process's descriptors; the data simply never grew past the tear.
+	if f.fs.aliveErr() != nil {
+		f.inner.Close()
+		return ErrCrashed
+	}
+	return f.inner.Close()
+}
+
+// String renders a plan for test names and logs.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s@%d(seed %d)", p.Kind, p.Op, p.Seed)
+}

@@ -1,0 +1,214 @@
+package fsfault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeVia stores payload at dir/name through fs with the temp+rename
+// idiom the real stores use, returning the first error.
+func writeVia(fs FS, dir, name string, payload []byte) error {
+	f, err := fs.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(f.Name(), filepath.Join(dir, name))
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeVia(fs, dir, "a.json", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(filepath.Join(dir, "a.json"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	names, err := fs.ReadDirNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.json" || names[1] != "sub" {
+		t.Fatalf("ReadDirNames = %v", names)
+	}
+	f, err := fs.OpenAppend(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile(filepath.Join(dir, "a.json"))
+	if string(got) != "hello world" {
+		t.Fatalf("append produced %q", got)
+	}
+	if err := fs.Remove(filepath.Join(dir, "a.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestENOSPC: the armed write persists a strict prefix, fails with
+// syscall.ENOSPC, and the disk stays full for every later write.
+func TestENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := Chaos(OS(), Plan{Kind: ENOSPC, Op: 1, Seed: 3})
+	err := writeVia(fs, dir, "a.json", []byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if !fs.Fired() {
+		t.Error("Fired() = false after ENOSPC")
+	}
+	// Target never published; only the torn temp file exists.
+	if _, err := os.Stat(filepath.Join(dir, "a.json")); !os.IsNotExist(err) {
+		t.Errorf("target exists after failed store: %v", err)
+	}
+	names, _ := fs.ReadDirNames(dir)
+	if len(names) != 1 {
+		t.Fatalf("dir entries = %v, want just the temp file", names)
+	}
+	data, _ := fs.ReadFile(filepath.Join(dir, names[0]))
+	if len(data) >= 10 {
+		t.Errorf("temp holds %d bytes, want a strict prefix of 10", len(data))
+	}
+	// The disk stays full.
+	f, err := fs.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("second write err = %v, want ENOSPC", err)
+	}
+	f.Close()
+}
+
+// TestTornWrite: the armed write persists a strict prefix and the process
+// dies; everything afterwards fails with ErrCrashed.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := Chaos(OS(), Plan{Kind: TornWrite, Op: 1, Seed: 5})
+	err := writeVia(fs, dir, "a.json", []byte("0123456789"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if _, err := fs.ReadFile(filepath.Join(dir, "a.json")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash read err = %v, want ErrCrashed", err)
+	}
+	if err := fs.Rename("a", "b"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash rename err = %v, want ErrCrashed", err)
+	}
+	// The partial bytes are on disk (visible to a fresh, un-perturbed seam).
+	names, err := OS().ReadDirNames(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("dir entries = %v, %v", names, err)
+	}
+	data, _ := OS().ReadFile(filepath.Join(dir, names[0]))
+	if len(data) >= 10 {
+		t.Errorf("torn temp holds %d bytes, want a strict prefix of 10", len(data))
+	}
+}
+
+// TestTornWriteDeterministic: the same plan tears at the same byte.
+func TestTornWriteDeterministic(t *testing.T) {
+	tear := func() int {
+		dir := t.TempDir()
+		fs := Chaos(OS(), Plan{Kind: TornWrite, Op: 1, Seed: 11})
+		writeVia(fs, dir, "a.json", []byte("0123456789abcdef"))
+		names, _ := OS().ReadDirNames(dir)
+		if len(names) != 1 {
+			t.Fatalf("dir entries = %v", names)
+		}
+		data, _ := OS().ReadFile(filepath.Join(dir, names[0]))
+		return len(data)
+	}
+	if a, b := tear(), tear(); a != b {
+		t.Errorf("tear points differ across runs: %d vs %d", a, b)
+	}
+}
+
+// TestCrashBeforeRename: the temp file is fully written and synced but the
+// rename never happens — the classic published-nothing crash window.
+func TestCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	fs := Chaos(OS(), Plan{Kind: CrashBeforeRename, Op: 1, Seed: 7})
+	err := writeVia(fs, dir, "a.json", []byte("0123456789"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.json")); !os.IsNotExist(err) {
+		t.Errorf("target published despite crash-before-rename: %v", err)
+	}
+	names, _ := OS().ReadDirNames(dir)
+	if len(names) != 1 {
+		t.Fatalf("dir entries = %v, want the orphaned temp file", names)
+	}
+	data, _ := OS().ReadFile(filepath.Join(dir, names[0]))
+	if string(data) != "0123456789" {
+		t.Errorf("orphan content = %q, want the full payload", data)
+	}
+}
+
+// TestBitRot: the armed read flips exactly one bit, the file at rest is
+// untouched, and the flipped position is seed-deterministic.
+func TestBitRot(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	if err := writeVia(OS(), dir, "a.json", payload); err != nil {
+		t.Fatal(err)
+	}
+	rot := func(seed uint64) []byte {
+		fs := Chaos(OS(), Plan{Kind: BitRot, Op: 1, Seed: seed})
+		data, err := fs.ReadFile(filepath.Join(dir, "a.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := rot(9)
+	diff := 0
+	for i := range a {
+		for b := 0; b < 8; b++ {
+			if a[i]&(1<<b) != payload[i]&(1<<b) {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("bit-rot flipped %d bits, want exactly 1", diff)
+	}
+	if b := rot(9); string(a) != string(b) {
+		t.Error("same seed rotted different bits")
+	}
+	// The file at rest is intact.
+	clean, _ := OS().ReadFile(filepath.Join(dir, "a.json"))
+	if string(clean) != string(payload) {
+		t.Error("bit-rot damaged the file at rest")
+	}
+	// Only the armed read is perturbed.
+	fs := Chaos(OS(), Plan{Kind: BitRot, Op: 2, Seed: 9})
+	first, _ := fs.ReadFile(filepath.Join(dir, "a.json"))
+	if string(first) != string(payload) {
+		t.Error("unarmed read was perturbed")
+	}
+}

@@ -20,9 +20,14 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"smartbadge/internal/device"
 	"smartbadge/internal/dpm"
@@ -103,6 +108,31 @@ func Validate(cfg Config) (Config, error) {
 	return cfg, nil
 }
 
+// Hash returns the canonical content hash of everything that determines
+// the batch result: Badges, Seed and the normalised axes. Workers is
+// deliberately excluded — the determinism contract makes the report
+// independent of it, so a checkpoint taken at -j 4 resumes correctly at
+// -j 16. The hash keys checkpoint directories (internal/ckpt), so two
+// configs hash equal exactly when their reports are byte-identical.
+func (c Config) Hash() (string, error) {
+	if err := c.normalise(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("fleet-config-v1\n")
+	b.WriteString("badges=" + strconv.Itoa(c.Badges) + "\n")
+	b.WriteString("seed=" + strconv.FormatUint(c.Seed, 10) + "\n")
+	b.WriteString("apps=" + strings.Join(c.Apps, ",") + "\n")
+	pols := make([]string, len(c.Policies))
+	for i, p := range c.Policies {
+		pols[i] = strconv.Itoa(int(p))
+	}
+	b.WriteString("policies=" + strings.Join(pols, ",") + "\n")
+	b.WriteString("dpms=" + strings.Join(c.DPMs, ",") + "\n")
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Spec is the derived configuration of one badge: a pure function of the
 // batch config and the badge index.
 type Spec struct {
@@ -164,10 +194,42 @@ type Aggregate struct {
 	DelayP99S    float64
 }
 
-// Report is the full batch outcome.
+// BadgeError is the failure of one badge: the index and derived spec that
+// identify it plus the cause (a runBadge error, or a recovered panic
+// wrapped so the batch survives a crashing simulation). One bad badge
+// never takes down the batch — it lands here and the report aggregates
+// over the survivors.
+type BadgeError struct {
+	Index int
+	Spec  Spec
+	Cause error
+}
+
+func (e *BadgeError) Error() string {
+	return fmt.Sprintf("fleet: badge %d (%s/%v/%s): %v", e.Index, e.Spec.App, e.Spec.Policy, e.Spec.DPM, e.Cause)
+}
+
+func (e *BadgeError) Unwrap() error { return e.Cause }
+
+// Report is the full batch outcome. Badges holds the successful results in
+// index order; Failed holds one BadgeError per failed badge, also in index
+// order, so the report stays bit-identical for any worker count even when
+// some badges fail. Agg summarises the survivors only.
 type Report struct {
 	Badges []BadgeResult
+	Failed []*BadgeError
 	Agg    Aggregate
+}
+
+// Journal is the checkpoint seam RunResumeCtx writes through — the subset
+// of *ckpt.Store the fleet needs. Implementations must be safe for
+// concurrent Append from shard workers.
+type Journal interface {
+	// Get returns the stored payload for badge i, if one exists.
+	Get(i int) (json.RawMessage, bool)
+	// Append journals badge i's completed result. Failures degrade
+	// checkpointing only; the fleet ignores them.
+	Append(i int, data json.RawMessage) error
 }
 
 // Run executes the batch and returns the index-ordered per-badge results
@@ -183,6 +245,17 @@ func Run(cfg Config) (*Report, error) {
 // errors.Is(err, ctx.Err()). A run that is not cancelled is bit-identical
 // to Run; cancellation never yields a partial report.
 func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
+	return RunResumeCtx(ctx, cfg, nil)
+}
+
+// RunResumeCtx is RunCtx with crash-safe checkpointing. Badges already in
+// the journal are restored instead of re-simulated; badges completed here
+// are appended as they finish. Because each badge is a pure function of
+// (Config, index) and JSON round-trips float64 bits exactly, a resumed
+// run's report is byte-identical to an uninterrupted one — the journal
+// only changes how much work reaching it costs. A nil journal runs the
+// whole batch.
+func RunResumeCtx(ctx context.Context, cfg Config, j Journal) (*Report, error) {
 	if err := cfg.normalise(); err != nil {
 		return nil, err
 	}
@@ -192,6 +265,24 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 		w = n
 	}
 	results := make([]BadgeResult, n)
+	fails := make([]*BadgeError, n)
+	done := make([]bool, n)
+	if j != nil {
+		for i := 0; i < n; i++ {
+			data, ok := j.Get(i)
+			if !ok {
+				continue
+			}
+			var r BadgeResult
+			// A payload that does not parse back to this badge is treated
+			// as absent: the badge is simply recomputed.
+			if json.Unmarshal(data, &r) != nil || r.Index != i {
+				continue
+			}
+			results[i] = r
+			done[i] = true
+		}
+	}
 	// One task per shard (not per badge): shard s owns badges s, s+w, …,
 	// and a private Scratch recycled across them. parallel.ForEachCtx with
 	// n == workers runs each shard exactly once.
@@ -201,22 +292,64 @@ func RunCtx(ctx context.Context, cfg Config) (*Report, error) {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			r, err := runBadge(&cfg, i, sc)
+			if done[i] {
+				continue
+			}
+			r, err := runBadgeRecover(&cfg, i, &sc)
 			if err != nil {
-				return fmt.Errorf("fleet: badge %d: %w", i, err)
+				// Isolate the failure: record it in the index-addressed
+				// slot and keep the shard going. Failed badges are never
+				// journaled, so a resume retries them.
+				fails[i] = &BadgeError{Index: i, Spec: cfg.SpecFor(i), Cause: err}
+				continue
 			}
 			results[i] = r
+			if j != nil {
+				if data, merr := json.Marshal(r); merr == nil {
+					j.Append(i, data) // best-effort; see Journal
+				}
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	agg, err := aggregate(results)
+	ok := make([]BadgeResult, 0, n)
+	failed := make([]*BadgeError, 0)
+	for i := 0; i < n; i++ {
+		if fails[i] != nil {
+			failed = append(failed, fails[i])
+		} else {
+			ok = append(ok, results[i])
+		}
+	}
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("fleet: all %d badges failed; first: %w", n, failed[0])
+	}
+	agg, err := aggregate(ok)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Badges: results, Agg: agg}, nil
+	return &Report{Badges: ok, Failed: failed, Agg: agg}, nil
+}
+
+// runBadgeFn is the per-badge execution seam: tests swap it to inject
+// deterministic failures and panics without touching the simulator.
+var runBadgeFn = runBadge
+
+// runBadgeRecover runs one badge with panic isolation. A panicking
+// simulation may leave the shard's scratch mid-run, so the scratch is
+// replaced before the shard continues; error returns keep it (runBadge's
+// error paths never abandon a simulation half-stepped).
+func runBadgeRecover(cfg *Config, i int, sc **sim.Scratch) (r BadgeResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			*sc = sim.NewScratch()
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return runBadgeFn(cfg, i, *sc)
 }
 
 // runBadge simulates one badge on the given scratch.

@@ -66,11 +66,26 @@ type AggregateJSON struct {
 	DelayP99S    float64 `json:"delay_p99_s"`
 }
 
-// FleetResponse is the 200 body of POST /v1/fleet.
+// FailedBadgeJSON is the wire form of one failed badge: the identifying
+// spec plus the cause. Failures are index-ordered, like results.
+type FailedBadgeJSON struct {
+	Index  int    `json:"index"`
+	App    string `json:"app"`
+	Policy string `json:"policy"`
+	DPM    string `json:"dpm"`
+	Error  string `json:"error"`
+}
+
+// FleetResponse is the 200 body of POST /v1/fleet. Status is "ok" when
+// every badge succeeded and "partial" when some failed: the engine
+// isolates per-badge panics and errors (fleet.BadgeError), aggregates over
+// the survivors and lists the casualties here instead of failing the
+// request.
 type FleetResponse struct {
-	Status string        `json:"status"`
-	Agg    AggregateJSON `json:"agg"`
-	Badges []BadgeJSON   `json:"badges"`
+	Status string            `json:"status"`
+	Agg    AggregateJSON     `json:"agg"`
+	Badges []BadgeJSON       `json:"badges"`
+	Failed []FailedBadgeJSON `json:"failed,omitempty"`
 }
 
 // RunRequest is the body of POST /v1/run: one badge, fully specified.
@@ -169,6 +184,9 @@ func (s *Server) admitError(w http.ResponseWriter, err error) {
 			Error:  "admission queue full; retry later",
 		})
 	case errors.Is(err, errDraining):
+		// The drain will finish; tell well-behaved clients when to come
+		// back instead of leaving them to guess.
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	default: // context cancelled while queued
 		s.cCanceled.Inc()
@@ -228,8 +246,12 @@ func badgeJSON(b fleet.BadgeResult) BadgeJSON {
 }
 
 func fleetResponse(rep *fleet.Report) FleetResponse {
+	status := "ok"
+	if len(rep.Failed) > 0 {
+		status = "partial"
+	}
 	resp := FleetResponse{
-		Status: "ok",
+		Status: status,
 		Agg: AggregateJSON{
 			Runs:         rep.Agg.Runs,
 			TotalEnergyJ: rep.Agg.TotalEnergyJ,
@@ -245,6 +267,15 @@ func fleetResponse(rep *fleet.Report) FleetResponse {
 	}
 	for i, b := range rep.Badges {
 		resp.Badges[i] = badgeJSON(b)
+	}
+	for _, f := range rep.Failed {
+		resp.Failed = append(resp.Failed, FailedBadgeJSON{
+			Index:  f.Index,
+			App:    f.Spec.App,
+			Policy: f.Spec.Policy.WireName(),
+			DPM:    f.Spec.DPM,
+			Error:  f.Cause.Error(),
+		})
 	}
 	return resp
 }

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"smartbadge/internal/fleet"
+)
+
+// TestFleetPartialStatus: when the engine isolates badge failures, the
+// response reports "partial" with the casualty list alongside the
+// surviving results — a crashing badge degrades the answer, it does not
+// 500 the request.
+func TestFleetPartialStatus(t *testing.T) {
+	s := New(Config{})
+	s.runFleet = func(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+		return &fleet.Report{
+			Badges: []fleet.BadgeResult{{Spec: cfg.SpecFor(0)}, {Spec: cfg.SpecFor(2)}},
+			Failed: []*fleet.BadgeError{{
+				Index: 1,
+				Spec:  cfg.SpecFor(1),
+				Cause: errors.New("panic: synthetic"),
+			}},
+			Agg: fleet.Aggregate{Runs: 2},
+		}, nil
+	}
+	rec := postRecorder(s, "/v1/fleet", smallFleetBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp FleetResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "partial" {
+		t.Errorf("status = %q, want partial", resp.Status)
+	}
+	if len(resp.Badges) != 2 || resp.Agg.Runs != 2 {
+		t.Errorf("survivors = %d (agg %d), want 2", len(resp.Badges), resp.Agg.Runs)
+	}
+	if len(resp.Failed) != 1 {
+		t.Fatalf("failed = %+v, want one entry", resp.Failed)
+	}
+	f := resp.Failed[0]
+	if f.Index != 1 || f.App == "" || f.Policy == "" || f.DPM == "" || f.Error != "panic: synthetic" {
+		t.Errorf("failed entry = %+v, want identified spec + cause", f)
+	}
+}
+
+// TestFleetOKOmitsFailed: a fully successful response carries no "failed"
+// key at all, so the partial-status feature does not perturb the byte
+// encoding of clean runs.
+func TestFleetOKOmitsFailed(t *testing.T) {
+	s := New(Config{})
+	s.runFleet = func(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+		return &fleet.Report{
+			Badges: []fleet.BadgeResult{{Spec: cfg.SpecFor(0)}},
+			Agg:    fleet.Aggregate{Runs: 1},
+		}, nil
+	}
+	rec := postRecorder(s, "/v1/fleet", smallFleetBody)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["failed"]; present {
+		t.Errorf("clean response carries a failed key: %s", rec.Body)
+	}
+	if string(raw["status"]) != `"ok"` {
+		t.Errorf("status = %s, want ok", raw["status"])
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins both branches of the
+// queue-derived hint: a shallow queue returns the configured base, a deep
+// one multiplies it by the number of in-flight generations queued ahead.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	s := New(Config{MaxInFlight: 4, RetryAfterS: 2})
+	cases := []struct {
+		waiting int
+		want    int
+	}{
+		{0, 2},  // idle: base hint
+		{3, 2},  // shallow: less than one generation queued
+		{4, 2},  // boundary: exactly one generation
+		{5, 4},  // deep: 2 generations → 2× base
+		{12, 6}, // deep: 3 generations
+		{13, 8}, // deep: ceil(13/4) = 4 generations
+	}
+	for _, c := range cases {
+		if got := s.retryAfterSeconds(c.waiting); got != c.want {
+			t.Errorf("retryAfterSeconds(%d) = %d, want %d", c.waiting, got, c.want)
+		}
+	}
+}
+
+// TestDrainingCarriesRetryAfter: the 503 a draining server answers with
+// tells the client when to come back, like a shed 429 does.
+func TestDrainingCarriesRetryAfter(t *testing.T) {
+	s := New(Config{RetryAfterS: 7})
+	s.draining.Store(true)
+	rec := postRecorder(s, "/v1/fleet", smallFleetBody)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want 7", got)
+	}
+}

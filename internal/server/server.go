@@ -319,7 +319,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// retryAfterValue renders the Retry-After header for shed responses.
+// retryAfterValue renders the Retry-After header for shed (429) and
+// draining (503) responses from the current queue depth: with the queue no
+// deeper than one in-flight generation the configured hint stands, and a
+// deeper queue scales it by the number of generations ahead — a client
+// shed behind 3× MaxInFlight waiters retrying after one hint interval
+// would land right back in the same full queue.
 func (s *Server) retryAfterValue() string {
-	return strconv.Itoa(s.cfg.RetryAfterS)
+	return strconv.Itoa(s.retryAfterSeconds(int(s.waiting.Load())))
+}
+
+func (s *Server) retryAfterSeconds(waiting int) int {
+	hint := s.cfg.RetryAfterS
+	if waiting > s.cfg.MaxInFlight {
+		generations := (waiting + s.cfg.MaxInFlight - 1) / s.cfg.MaxInFlight
+		hint *= generations
+	}
+	return hint
 }

@@ -22,12 +22,19 @@
 // Lookups are served from an in-memory LRU first, then from the on-disk
 // store: one file per key holding a SHA-256 checksum line followed by a JSON
 // payload in which every float64 travels as its exact IEEE-754 bit pattern.
-// Writes go to a temporary file in the cache directory and are renamed into
-// place atomically, so a reader never observes a partial entry; an entry
-// that is truncated, corrupted, checksum-mismatched, version-skewed or keyed
-// for a different config is rejected and recomputed, never returned. Store
-// failures (read-only directory, full disk) silently degrade the cache to
+// Writes go to a temporary file in the cache directory, fsynced, and then
+// renamed into place atomically, so a reader never observes a partial entry
+// and a published entry survives a power cut; an entry that is truncated,
+// corrupted, checksum-mismatched, version-skewed or keyed for a different
+// config is rejected and recomputed, never returned. Store failures
+// (read-only directory, full disk) silently degrade the cache to
 // memory-only — caching is best-effort, correctness never depends on it.
+// Temp files orphaned by a writer that crashed before its rename are
+// garbage-collected the next time the cache directory is opened.
+//
+// All disk traffic goes through the injectable fsfault.FS seam, so every
+// rejection and degradation path is regression-tested under seeded ENOSPC,
+// torn-write, crash-before-rename and bit-rot fault plans.
 //
 // Concurrent requests for the same key share one computation (single
 // flight): the first caller characterises, the rest block and receive the
@@ -62,6 +69,7 @@ import (
 	"sync"
 
 	"smartbadge/internal/changepoint"
+	"smartbadge/internal/faults/fsfault"
 )
 
 // FormatVersion is baked into both the key derivation and the on-disk entry.
@@ -91,6 +99,7 @@ type Stats struct {
 
 // Cache memoises Characterise results. Safe for concurrent use.
 type Cache struct {
+	fs         fsfault.FS
 	dir        string // "" = memory-only
 	maxEntries int
 
@@ -116,21 +125,46 @@ type flight struct {
 // the cache memory-only. maxEntries bounds the in-memory LRU; 0 selects
 // DefaultMaxEntries.
 func New(dir string, maxEntries int) (*Cache, error) {
+	return NewFS(fsfault.OS(), dir, maxEntries)
+}
+
+// NewFS is New with an injectable filesystem seam — the hook the fault
+// plans use to prove the cache's degradation paths.
+func NewFS(fs fsfault.FS, dir string, maxEntries int) (*Cache, error) {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("thrcache: %w", err)
-		}
-	}
-	return &Cache{
+	c := &Cache{
+		fs:         fs,
 		dir:        dir,
 		maxEntries: maxEntries,
 		entries:    make(map[string]*list.Element),
 		order:      list.New(),
 		inflight:   make(map[string]*flight),
-	}, nil
+	}
+	if dir != "" {
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("thrcache: %w", err)
+		}
+		c.collectOrphans()
+	}
+	return c, nil
+}
+
+// collectOrphans removes tmp-* files left behind by writers that crashed
+// between CreateTemp and their rename. Published entries are never
+// touched; failures are ignored (best-effort, like the stores that
+// created the orphans).
+func (c *Cache) collectOrphans() {
+	names, err := c.fs.ReadDirNames(c.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "tmp-") {
+			c.fs.Remove(filepath.Join(c.dir, name))
+		}
+	}
 }
 
 // Memory returns a memory-only cache (in-process memoisation with single
@@ -324,7 +358,7 @@ func parseBits(s string) (float64, bool) {
 // load reads and verifies the on-disk entry for key. A missing file is a
 // plain miss; anything present-but-invalid counts in rejected.
 func (c *Cache) load(key string) (th *changepoint.Thresholds, ok bool, rejected uint64) {
-	data, err := os.ReadFile(c.path(key))
+	data, err := c.fs.ReadFile(c.path(key))
 	if err != nil {
 		return nil, false, 0
 	}
@@ -369,10 +403,13 @@ func (c *Cache) load(key string) (th *changepoint.Thresholds, ok bool, rejected 
 	return restored, true, 0
 }
 
-// store writes the entry atomically: temp file in the cache directory, then
-// rename. Errors are swallowed — a failed store leaves the cache memory-only
-// for this entry, it never corrupts the store (rename is atomic) or the
-// caller (the in-memory table is already correct).
+// store writes the entry atomically: temp file in the cache directory,
+// fsync, then rename — the fsync before the rename is what makes the
+// published entry durable across a power cut rather than just atomic
+// against concurrent readers. Errors are swallowed — a failed store leaves
+// the cache memory-only for this entry, it never corrupts the store
+// (rename is atomic) or the caller (the in-memory table is already
+// correct); any temp file it strands is collected on the next open.
 func (c *Cache) store(key string, th *changepoint.Thresholds) {
 	snap := th.Snapshot()
 	e := diskEntry{
@@ -391,16 +428,19 @@ func (c *Cache) store(key string, th *changepoint.Thresholds) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	tmp, err := c.fs.CreateTemp(c.dir, "tmp-*")
 	if err != nil {
 		return
 	}
-	_, werr := tmp.WriteString(checksumLine(payload) + "\n")
+	_, werr := tmp.Write([]byte(checksumLine(payload) + "\n"))
 	if werr == nil {
 		_, werr = tmp.Write(payload)
 	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil || os.Rename(tmp.Name(), c.path(key)) != nil {
-		os.Remove(tmp.Name())
+	if werr != nil || cerr != nil || c.fs.Rename(tmp.Name(), c.path(key)) != nil {
+		c.fs.Remove(tmp.Name())
 	}
 }
