@@ -57,6 +57,7 @@ func run(args []string, out, errOut io.Writer, in io.Reader) error {
 		attempts = fs.Int("attempts", client.DefaultMaxAttempts, "total attempts before giving up")
 		timeoutS = fs.Int("timeout", 0, "overall deadline in seconds; 0 means none")
 		seed     = fs.Uint64("seed", 0, "backoff jitter seed")
+		stats    = fs.Bool("stats", false, "print retry/breaker counters to stderr after the request")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -98,6 +99,12 @@ func run(args []string, out, errOut io.Writer, in io.Reader) error {
 		resp, err = c.Thresholds(ctx, payload)
 	case "health":
 		resp, err = c.Health(ctx)
+	}
+	if *stats {
+		// Stderr, not stdout: the response bytes stay cmp-clean.
+		st := c.Stats()
+		fmt.Fprintf(errOut, "dvsimctl: stats attempts=%d retries=%d transport_failures=%d breaker_opens=%d breaker_fast_fails=%d retry_budget_fails=%d\n",
+			st.Attempts, st.Retries, st.TransportFailures, st.BreakerOpens, st.BreakerFastFails, st.RetryBudgetFails)
 	}
 	if err != nil {
 		var se *client.StatusError

@@ -100,3 +100,21 @@ func TestUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsFlagPrintsCounters: -stats lands on stderr so stdout stays
+// cmp-clean.
+func TestStatsFlagPrintsCounters(t *testing.T) {
+	ts := echoDaemon(t)
+	defer ts.Close()
+	var out, errOut bytes.Buffer
+	err := run([]string{"fleet", "-addr", ts.URL, "-stats", "-body", `{"badges":3,"seed":7}`}, &out, &errOut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "{\"status\":\"ok\",\"agg\":{}}\n" {
+		t.Errorf("stdout = %q, want only the daemon's bytes", out.String())
+	}
+	if !strings.Contains(errOut.String(), "stats attempts=1 retries=0") {
+		t.Errorf("stderr = %q, want the counters line", errOut.String())
+	}
+}

@@ -56,6 +56,7 @@ func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signa
 		retryAfterS  = fs.Int("retry-after", server.DefaultRetryAfterS, "Retry-After hint in seconds on shed responses")
 		thrCache     = fs.String("thr-cache", "auto", "threshold cache: auto | off | DIR (auto = per-user cache dir)")
 		drainS       = fs.Int("drain-timeout", 30, "seconds to wait for in-flight requests on shutdown")
+		idemEntries  = fs.Int("idem-entries", server.DefaultIdemEntries, "completed responses kept for Idempotency-Key replay")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer, ready chan<- string, sigs <-chan os.Signa
 		MaxBadges:    *maxBadges,
 		MaxTimeoutMS: *maxTimeoutMS,
 		RetryAfterS:  *retryAfterS,
+		IdemEntries:  *idemEntries,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -39,9 +39,14 @@ var Analyzer = &analysis.Analyzer{
 
 // LoopPkgs names the packages (by final import-path element) whose blocking
 // loops must observe the context: the fan-out layer, the fleet shard loops,
-// the serving daemon, and the retrying client (its backoff loop sleeps
-// between attempts and must honour the caller's deadline mid-wait).
-var LoopPkgs = map[string]bool{"parallel": true, "fleet": true, "server": true, "client": true}
+// the serving daemon, the retrying client (its backoff loop sleeps between
+// attempts and must honour the caller's deadline mid-wait), and the
+// netfault chaos proxy (its accept loop must die with the context or a
+// cancelled smoke run leaks a listener).
+var LoopPkgs = map[string]bool{
+	"parallel": true, "fleet": true, "server": true, "client": true,
+	"netfault": true,
+}
 
 // BelowBoundary reports whether pkgPath sits below the context entry
 // boundary. cmd binaries and examples own their process lifetime and

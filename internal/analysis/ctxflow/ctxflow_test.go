@@ -28,7 +28,7 @@ func TestBoundary(t *testing.T) {
 			t.Errorf("BelowBoundary(%q) = false, want true", below)
 		}
 	}
-	for _, pkg := range []string{"parallel", "fleet", "server", "client"} {
+	for _, pkg := range []string{"parallel", "fleet", "server", "client", "netfault"} {
 		if !ctxflow.LoopPkgs[pkg] {
 			t.Errorf("package %q missing from LoopPkgs", pkg)
 		}

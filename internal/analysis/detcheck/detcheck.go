@@ -48,12 +48,16 @@ import (
 // or crash/resume stops being byte-identical. client is deliberately NOT
 // listed — retry backoff is wall-clock timing by nature (timers, jittered
 // sleeps); its determinism obligation (same seed, same delay schedule) is
-// enforced by its own tests.
+// enforced by its own tests. netfault IS listed even though it injects
+// network faults: which connection faults, where a body is cut and how
+// long a stall holds must all be pure functions of Plan.Seed — a chaos
+// run that cannot be replayed bit-for-bit cannot be debugged. (Sleeping
+// out an injected delay is fine; reading the clock to decide one is not.)
 var DeterministicPkgs = map[string]bool{
 	"sim": true, "stats": true, "parallel": true, "changepoint": true,
 	"policy": true, "dpm": true, "tismdp": true, "markov": true,
 	"mdp": true, "queue": true, "workload": true, "obs": true,
-	"faults": true, "fleet": true, "ckpt": true,
+	"faults": true, "fleet": true, "ckpt": true, "netfault": true,
 }
 
 // forbiddenTimeFuncs are the wall-clock and timer entry points of package

@@ -34,7 +34,7 @@ func TestTransitiveReach(t *testing.T) {
 // and client, whose retry backoff is wall-clock timing by nature and whose
 // seeded-jitter reproducibility is proven by its own tests.
 func TestMembership(t *testing.T) {
-	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet", "parallel", "ckpt"} {
+	for _, pkg := range []string{"sim", "stats", "changepoint", "fleet", "parallel", "ckpt", "netfault"} {
 		if !detcheck.DeterministicPkgs[pkg] {
 			t.Errorf("package %q missing from DeterministicPkgs", pkg)
 		}

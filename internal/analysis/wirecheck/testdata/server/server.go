@@ -88,3 +88,18 @@ func intSprint(n int) string {
 func stampTime(t time.Time) string {
 	return fmt.Sprintf("at %s", t) // want `time\.Time formatted into output`
 }
+
+// cachedResponse mirrors the idempotency result-LRU entry: it stores an
+// already-rendered body plus routing metadata, and never crosses a json
+// call itself — so it is not a DTO and its untagged fields stay legal.
+type cachedResponse struct {
+	code       int
+	retryAfter string
+	body       []byte
+}
+
+// replay hands back previously rendered bytes without re-marshalling;
+// byte-identity is inherited from the original render. Not flagged.
+func replay(c cachedResponse) []byte {
+	return c.body
+}

@@ -1,0 +1,122 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smartbadge/internal/stats"
+)
+
+// fakeClock drives the breaker's now seam.
+type fakeClock struct{ at time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.at }
+func (f *fakeClock) advance(d time.Duration) { f.at = f.at.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration, seed uint64) (*breaker, *fakeClock) {
+	clk := &fakeClock{at: time.Unix(1000, 0)}
+	b := newBreaker(threshold, cooldown, stats.NewRNG(seed))
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, 1)
+	for i := 0; i < 2; i++ {
+		if b.onTransportFailure() {
+			t.Fatalf("breaker tripped after %d failures, threshold is 3", i+1)
+		}
+		if err := b.allow(); err != nil {
+			t.Fatalf("breaker rejected while still closed: %v", err)
+		}
+	}
+	if !b.onTransportFailure() {
+		t.Fatal("third failure did not trip the breaker")
+	}
+	err := b.allow()
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("allow while open = %v, want BreakerOpenError", err)
+	}
+	if boe.RetryIn <= 0 {
+		t.Fatalf("RetryIn = %v, want positive", boe.RetryIn)
+	}
+}
+
+func TestBreakerResponseResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, 1)
+	b.onTransportFailure()
+	b.onTransportFailure()
+	b.onResponse() // any HTTP answer, even a 503, proves the wire works
+	b.onTransportFailure()
+	b.onTransportFailure()
+	if b.state != breakerClosed {
+		t.Fatal("breaker opened although the failure streak was broken")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 7)
+	b.onTransportFailure()
+	if err := b.allow(); err == nil {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	// Jitter keeps the reopen inside [cooldown, 1.5*cooldown).
+	clk.advance(1500 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("cooldown elapsed but probe refused: %v", err)
+	}
+	// The probe is in flight: concurrent calls still fail fast.
+	if err := b.allow(); err == nil {
+		t.Fatal("half-open breaker admitted a second call alongside the probe")
+	}
+	// Probe succeeds: closed again, everyone admitted.
+	b.onResponse()
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker still refusing after a successful probe: %v", err)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 7)
+	b.onTransportFailure()
+	clk.advance(1500 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	if !b.onTransportFailure() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if err := b.allow(); err == nil {
+		t.Fatal("breaker admitted a call right after a failed probe")
+	}
+	clk.advance(1500 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe window refused: %v", err)
+	}
+}
+
+// TestBreakerJitterDeterministic: same seed, same reopen schedule — the
+// jitter reproduces, and distinct seeds diverge.
+func TestBreakerJitterDeterministic(t *testing.T) {
+	reopen := func(seed uint64) time.Time {
+		b, _ := newTestBreaker(1, time.Second, seed)
+		b.onTransportFailure()
+		return b.reopenAt
+	}
+	if !reopen(7).Equal(reopen(7)) {
+		t.Fatal("same-seed breakers disagree on the reopen time")
+	}
+	if reopen(7).Equal(reopen(8)) {
+		t.Fatal("distinct seeds produced identical reopen jitter")
+	}
+	lo, hi := reopen(7), reopen(9)
+	base := time.Unix(1000, 0)
+	for _, at := range []time.Time{lo, hi} {
+		d := at.Sub(base)
+		if d < time.Second || d >= 1500*time.Millisecond {
+			t.Fatalf("reopen delay %v outside [cooldown, 1.5*cooldown)", d)
+		}
+	}
+}

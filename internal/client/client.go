@@ -12,6 +12,16 @@
 // them. A terminal non-2xx response is a *StatusError carrying the status
 // code and body.
 //
+// Retrying safely needs two more pieces. Every POST carries an
+// Idempotency-Key derived from the request content (DeriveIdempotencyKey),
+// so a retry of work the daemon already finished — or is still computing —
+// replays or joins that work server-side instead of re-running the batch.
+// And a circuit breaker (breaker.go) sits in front of the transport: a
+// daemon that is gone, not just busy, costs one cooldown instead of
+// MaxAttempts dials per call. A retry whose wait cannot finish before the
+// context deadline fails fast with *RetryBudgetError rather than sleeping
+// into certain death. Stats() exposes lifetime counters for all of it.
+//
 // client is deliberately NOT on the detcheck deterministic roster: backoff
 // timing is wall-clock by nature. What stays deterministic is the jitter
 // sequence (a seeded stats.RNG, so retry schedules reproduce under test)
@@ -23,12 +33,15 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smartbadge/internal/stats"
@@ -64,16 +77,63 @@ type Config struct {
 	// Sleep is the wait seam; nil selects a timer-backed wait. It must
 	// return early with ctx.Err() when ctx dies mid-wait.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// BreakerThreshold is how many consecutive transport failures open the
+	// circuit breaker; <= 0 selects DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe (plus seeded jitter); <= 0 selects
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // Client retries requests against one dvsimd daemon. Safe for concurrent
-// use; the jitter RNG is the only shared mutable state.
+// use; the jitter RNG, the breaker, and the stats counters are the only
+// shared mutable state.
 type Client struct {
 	cfg  Config
 	http *http.Client
+	br   *breaker
 
 	mu  sync.Mutex
 	rng *stats.RNG
+
+	st struct {
+		attempts          atomic.Int64
+		retries           atomic.Int64
+		transportFailures atomic.Int64
+		breakerOpens      atomic.Int64
+		breakerFastFails  atomic.Int64
+		retryBudgetFails  atomic.Int64
+	}
+}
+
+// Stats is a point-in-time snapshot of a Client's lifetime counters.
+type Stats struct {
+	// Attempts counts HTTP round trips started (first tries included).
+	Attempts int64
+	// Retries counts backoff waits taken before a re-attempt.
+	Retries int64
+	// TransportFailures counts attempts that died before an HTTP response.
+	TransportFailures int64
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens int64
+	// BreakerFastFails counts calls refused without a dial while open.
+	BreakerFastFails int64
+	// RetryBudgetFails counts retries abandoned because the next wait
+	// could not finish before the context deadline.
+	RetryBudgetFails int64
+}
+
+// Stats returns the client's lifetime counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:          c.st.attempts.Load(),
+		Retries:           c.st.retries.Load(),
+		TransportFailures: c.st.transportFailures.Load(),
+		BreakerOpens:      c.st.breakerOpens.Load(),
+		BreakerFastFails:  c.st.breakerFastFails.Load(),
+		RetryBudgetFails:  c.st.retryBudgetFails.Load(),
+	}
 }
 
 // StatusError is a terminal non-2xx response: either a status the client
@@ -90,6 +150,45 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: server answered %d: %s", e.Code, bytes.TrimSpace(e.Body))
 }
 
+// RetryBudgetError is a fail-fast on the wait itself: the retry schedule
+// (the computed backoff, or the server's Retry-After floor) demands a
+// delay that cannot finish before the context deadline, so sleeping would
+// only convert a prompt failure into a late one. Delay is what the
+// schedule asked for, Remaining what the deadline had left, Last the
+// failure that triggered the retry.
+type RetryBudgetError struct {
+	Delay     time.Duration
+	Remaining time.Duration
+	Last      error
+}
+
+func (e *RetryBudgetError) Error() string {
+	return fmt.Sprintf("client: next retry in %v exceeds the %v left before the deadline (last attempt: %v)",
+		e.Delay, e.Remaining, e.Last)
+}
+
+// Unwrap exposes both the deadline nature of the failure (so callers'
+// errors.Is(err, context.DeadlineExceeded) checks keep working) and the
+// last attempt's error.
+func (e *RetryBudgetError) Unwrap() []error {
+	return []error{context.DeadlineExceeded, e.Last}
+}
+
+// DeriveIdempotencyKey is the token the client sends as Idempotency-Key
+// on every POST: hex(sha256(method \x00 path \x00 body)). Deriving it
+// from the request content (rather than a random UUID) means a crashed
+// and restarted caller re-sending the same work still deduplicates, and
+// a test can predict the header.
+func DeriveIdempotencyKey(method, path string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(method))
+	h.Write([]byte{0})
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // New assembles a Client from cfg.
 func New(cfg Config) (*Client, error) {
 	if cfg.BaseURL == "" {
@@ -104,11 +203,21 @@ func New(cfg Config) (*Client, error) {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = DefaultMaxBackoff
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	h := cfg.HTTP
 	if h == nil {
 		h = &http.Client{}
 	}
-	c := &Client{cfg: cfg, http: h, rng: stats.NewRNG(cfg.Seed)}
+	rng := stats.NewRNG(cfg.Seed)
+	// The breaker jitters its reopen from an independent substream so
+	// breaker activity never perturbs the backoff schedule.
+	c := &Client{cfg: cfg, http: h, rng: rng,
+		br: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, rng.Split())}
 	if c.cfg.Sleep == nil {
 		c.cfg.Sleep = sleepCtx
 	}
@@ -145,15 +254,36 @@ func retryable(code int) bool {
 	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
 }
 
-// do runs the retry loop around one logical request.
+// do runs the retry loop around one logical request. Every POST carries
+// an Idempotency-Key derived from the request content, so a retry the
+// server already answered (or is still computing) joins that work instead
+// of re-running it — the retry loop and the daemon's dedup are two halves
+// of one contract.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	idemKey := ""
+	if method == http.MethodPost {
+		idemKey = DeriveIdempotencyKey(method, path, body)
+	}
 	var lastErr error
 	backoff := c.cfg.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("client: %s %s: %w (last attempt: %w)", method, path, err, cause(lastErr))
 		}
-		respBody, code, retryAfter, err := c.attempt(ctx, method, path, body)
+		if err := c.br.allow(); err != nil {
+			c.st.breakerFastFails.Add(1)
+			return nil, fmt.Errorf("client: %s %s: %w (last attempt: %w)", method, path, err, cause(lastErr))
+		}
+		c.st.attempts.Add(1)
+		respBody, code, retryAfter, err := c.attempt(ctx, method, path, idemKey, body)
+		if err == nil {
+			c.br.onResponse()
+		} else {
+			c.st.transportFailures.Add(1)
+			if c.br.onTransportFailure() {
+				c.st.breakerOpens.Add(1)
+			}
+		}
 		switch {
 		case err == nil && code/100 == 2:
 			return respBody, nil
@@ -177,6 +307,17 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		if errors.As(lastErr, &se) && se.RetryAfter > delay {
 			delay = se.RetryAfter
 		}
+		// Fail fast when the wait cannot finish inside the deadline:
+		// sleeping would burn the remaining budget to report the same
+		// failure later.
+		if dl, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(dl); delay >= remaining {
+				c.st.retryBudgetFails.Add(1)
+				return nil, fmt.Errorf("client: %s %s: %w",
+					method, path, &RetryBudgetError{Delay: delay, Remaining: remaining, Last: cause(lastErr)})
+			}
+		}
+		c.st.retries.Add(1)
 		if err := c.cfg.Sleep(ctx, delay); err != nil {
 			return nil, fmt.Errorf("client: %s %s: %w (last attempt: %w)", method, path, err, cause(lastErr))
 		}
@@ -189,7 +330,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 // attempt performs one HTTP round trip, drains the response and parses
 // its Retry-After hint (delay-seconds form only; the daemon never sends
 // the HTTP-date form).
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, int, time.Duration, error) {
+func (c *Client) attempt(ctx context.Context, method, path, idemKey string, body []byte) ([]byte, int, time.Duration, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -200,6 +341,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -239,3 +239,195 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("empty BaseURL accepted")
 	}
 }
+
+// TestRetryBudgetFailFast (satellite): the daemon's Retry-After floor
+// lands beyond the context deadline — the client must fail immediately
+// with the typed error instead of sleeping into the deadline.
+func TestRetryBudgetFailFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "60")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	rec := &recordedSleep{}
+	c := newTestClient(t, ts, rec)
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Fleet(ctx, []byte(`{}`))
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fail-fast took %v; the 60s floor was waited out", elapsed)
+	}
+	var rbe *RetryBudgetError
+	if !errors.As(err, &rbe) {
+		t.Fatalf("err = %v, want RetryBudgetError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to satisfy errors.Is(DeadlineExceeded)", err)
+	}
+	if rbe.Delay != 60*time.Second {
+		t.Errorf("Delay = %v, want the server's 60s floor", rbe.Delay)
+	}
+	var se *StatusError
+	if !errors.As(rbe.Last, &se) || se.Code != http.StatusTooManyRequests {
+		t.Errorf("Last = %v, want the 429 that triggered the retry", rbe.Last)
+	}
+	if calls.Load() != 1 || len(rec.delays) != 0 {
+		t.Errorf("calls=%d sleeps=%d, want one attempt and no sleep", calls.Load(), len(rec.delays))
+	}
+	if got := c.Stats().RetryBudgetFails; got != 1 {
+		t.Errorf("RetryBudgetFails = %d, want 1", got)
+	}
+}
+
+// TestRetryBudgetDeterministicSchedule: with no Retry-After hint the
+// budget decision rides on the jittered backoff — which is seeded, so two
+// same-seed clients refuse the same wait.
+func TestRetryBudgetDeterministicSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	run := func() time.Duration {
+		c, err := New(Config{
+			BaseURL:     ts.URL,
+			BaseBackoff: 10 * time.Second, // jitter lands in [5s, 10s)
+			Seed:        7,
+			Sleep:       (&recordedSleep{}).sleep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		defer cancel()
+		_, err = c.Fleet(ctx, []byte(`{}`))
+		var rbe *RetryBudgetError
+		if !errors.As(err, &rbe) {
+			t.Fatalf("err = %v, want RetryBudgetError", err)
+		}
+		if rbe.Delay < 5*time.Second || rbe.Delay >= 10*time.Second {
+			t.Fatalf("refused delay %v outside the jitter window [5s, 10s)", rbe.Delay)
+		}
+		return rbe.Delay
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed clients refused different waits: %v vs %v", a, b)
+	}
+}
+
+// TestPostsCarryIdempotencyKey: every POST attempt — including retries —
+// sends the content-derived key, so the daemon can deduplicate; GETs
+// carry none.
+func TestPostsCarryIdempotencyKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		mu.Unlock()
+		if r.Method == http.MethodPost && calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests) // force one retry
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts, &recordedSleep{})
+	body := []byte(`{"badges":3}`)
+	if _, err := c.Fleet(context.Background(), body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 3 {
+		t.Fatalf("saw %d requests, want 3 (two fleet attempts + health)", len(keys))
+	}
+	want := DeriveIdempotencyKey(http.MethodPost, "/v1/fleet", body)
+	if keys[0] != want || keys[1] != want {
+		t.Errorf("POST keys = %q, %q; want both %q", keys[0], keys[1], want)
+	}
+	if keys[2] != "" {
+		t.Errorf("GET carried Idempotency-Key %q, want none", keys[2])
+	}
+	if DeriveIdempotencyKey(http.MethodPost, "/v1/fleet", []byte(`{"badges":4}`)) == want {
+		t.Error("different bodies derived the same key")
+	}
+}
+
+// TestBreakerFastFailsWhenOpen: sustained transport failure across calls
+// trips the breaker, after which calls are refused without a dial.
+func TestBreakerFastFailsWhenOpen(t *testing.T) {
+	rec := &recordedSleep{}
+	c, err := New(Config{
+		BaseURL:          "http://127.0.0.1:1", // nothing listens on port 1
+		MaxAttempts:      2,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // never half-opens inside the test
+		Seed:             7,
+		Sleep:            rec.sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Call 1: two transport failures, streak 2 < 3, breaker stays closed.
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+	// Call 2: third failure trips the breaker; the in-loop retry is then
+	// refused without dialing.
+	_, err = c.Health(context.Background())
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("call after tripping = %v, want BreakerOpenError", err)
+	}
+	attemptsSoFar := c.Stats().Attempts
+	// Call 3: fast fail, zero dials.
+	_, err = c.Health(context.Background())
+	if !errors.As(err, &boe) {
+		t.Fatalf("call while open = %v, want BreakerOpenError", err)
+	}
+	if boe.RetryIn <= 0 {
+		t.Errorf("RetryIn = %v, want positive", boe.RetryIn)
+	}
+	st := c.Stats()
+	if st.Attempts != attemptsSoFar {
+		t.Errorf("open breaker still dialed: attempts %d -> %d", attemptsSoFar, st.Attempts)
+	}
+	if st.Attempts != 3 || st.TransportFailures != 3 {
+		t.Errorf("attempts=%d transportFailures=%d, want 3 and 3", st.Attempts, st.TransportFailures)
+	}
+	if st.BreakerOpens != 1 || st.BreakerFastFails != 2 {
+		t.Errorf("breakerOpens=%d fastFails=%d, want 1 and 2", st.BreakerOpens, st.BreakerFastFails)
+	}
+}
+
+// TestStatsCountRetries: the counters tell the story of a shed-then-win
+// call.
+func TestStatsCountRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts, &recordedSleep{})
+	if _, err := c.Fleet(context.Background(), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Errorf("attempts=%d retries=%d, want 3 and 2", st.Attempts, st.Retries)
+	}
+	if st.TransportFailures != 0 || st.BreakerOpens != 0 {
+		t.Errorf("clean HTTP exchanges counted as transport failures: %+v", st)
+	}
+}

@@ -1,0 +1,24 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadBadge drives arbitrary bytes through the badge-config loader:
+// a hostile hardware description must be rejected with an error, never a
+// panic — the loader fronts user-supplied files in cmd binaries.
+func FuzzLoadBadge(f *testing.F) {
+	f.Add([]byte(`[{"name":"cpu","active_mw":400,"idle_mw":50,"standby_mw":0.16,"off_mw":0,"tsby_ms":5,"toff_ms":160}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{}]`))
+	f.Add([]byte(`[{"name":"x","active_mw":-1}]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := LoadBadge(bytes.NewReader(data))
+		if err == nil && b == nil {
+			t.Fatal("LoadBadge returned nil badge without an error")
+		}
+	})
+}

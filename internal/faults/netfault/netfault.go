@@ -1,0 +1,323 @@
+// Package netfault is the network half of the fault-injection layer: a
+// seeded, deterministic wrapper around net.Listener/net.Conn that perturbs
+// the dvsimd↔dvsimctl wire, plus a TCP proxy (proxy.go, surfaced as
+// cmd/netchaos) that injects the same faults between real processes.
+//
+// The sibling fsfault package breaks the serving substrate's filesystem
+// assumptions (torn writes, ENOSPC, bit-rot); this package breaks its
+// transport assumptions: peers refuse connections, connections reset
+// mid-response, reads stall like a slow-loris peer, responses truncate at
+// arbitrary byte offsets, and latency spikes without warning. The serving
+// path (internal/server idempotency + internal/client retry/breaker) must
+// keep its end-to-end contract — byte-identical responses, no recomputed
+// batches — under every plan, and the seeded wrapper makes each failure
+// reproducible so that contract is regression-testable.
+//
+// # Fault semantics
+//
+// A Plan arms exactly one fault at the Op-th accepted connection
+// (1-based); every other connection passes through untouched. The faulted
+// connection behaves per Kind:
+//
+//   - Refuse: the connection is severed the moment it is accepted — the
+//     peer observes connect-then-reset, the same retry path as a true
+//     ECONNREFUSED (which a userspace wrapper cannot forge once the kernel
+//     has completed the handshake).
+//   - RST: writes toward the peer are cut after a seeded byte offset; the
+//     cut write delivers a strict prefix, then the connection is closed
+//     with SO_LINGER 0 so the peer sees a mid-body TCP reset.
+//   - Truncate: like RST but the close is clean (FIN), so the peer sees a
+//     short body against the promised Content-Length.
+//   - Stall: the first read from the peer blocks for a seeded duration
+//     (slow-loris), then the connection is severed without a response.
+//   - Latency: every read and write is delayed by a seeded duration drawn
+//     per operation; no failure is injected.
+//
+// Determinism: the cut offset, stall duration and per-op delays are drawn
+// from a stats.RNG stream derived from (Plan.Seed, connection index), so a
+// (Plan, workload) pair damages the wire identically on every run. netfault
+// is on the detcheck deterministic roster: it never reads wall clocks — the
+// only time it consumes is the durations it injects.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"smartbadge/internal/stats"
+)
+
+// Kind names a fault plan.
+type Kind string
+
+// The five fault plans every serving path must survive.
+const (
+	// Refuse severs the Op-th connection at accept time.
+	Refuse Kind = "refuse"
+	// RST cuts the Op-th connection's peer-bound writes at a seeded byte
+	// offset and closes with SO_LINGER 0 (TCP reset mid-body).
+	RST Kind = "rst"
+	// Stall blocks the Op-th connection's first read for a seeded duration,
+	// then severs it (slow-loris).
+	Stall Kind = "stall"
+	// Truncate cuts the Op-th connection's peer-bound writes at a seeded
+	// byte offset and closes cleanly (short body).
+	Truncate Kind = "truncate"
+	// Latency delays every read and write on the Op-th connection by a
+	// seeded per-operation duration; nothing fails.
+	Latency Kind = "latency"
+)
+
+// Kinds returns every fault kind in a fixed order (for smoke loops and
+// table tests).
+func Kinds() []Kind { return []Kind{Refuse, RST, Stall, Truncate, Latency} }
+
+// Defaults for Plan fields left zero.
+const (
+	// DefaultStall bounds how long a Stall plan holds the faulted read
+	// before severing; the actual hold is seeded in [DefaultStall/2,
+	// DefaultStall).
+	DefaultStall = 1 * time.Second
+	// DefaultMaxDelay caps a Latency plan's per-operation delay.
+	DefaultMaxDelay = 50 * time.Millisecond
+	// cutWindow bounds the RST/Truncate cut offset: the seeded cut lands in
+	// [1, cutWindow], inside the status line and headers of any real HTTP
+	// response, so the peer always observes a mid-response failure.
+	cutWindow = 256
+)
+
+// Plan arms one fault at the Op-th accepted connection (1-based), mirroring
+// fsfault's Plan{Kind, Op, Seed}. Seed drives the cut offset, stall
+// duration and latency draws.
+type Plan struct {
+	Kind Kind
+	Op   int
+	Seed uint64
+	// Stall overrides DefaultStall for Stall plans; <= 0 keeps the default.
+	Stall time.Duration
+	// MaxDelay overrides DefaultMaxDelay for Latency plans; <= 0 keeps the
+	// default.
+	MaxDelay time.Duration
+}
+
+// Validate reports whether the plan is well-formed.
+func (p Plan) Validate() error {
+	switch p.Kind {
+	case Refuse, RST, Stall, Truncate, Latency:
+	default:
+		return fmt.Errorf("netfault: unknown kind %q (want refuse, rst, stall, truncate or latency)", p.Kind)
+	}
+	if p.Op < 1 {
+		return fmt.Errorf("netfault: Op must be >= 1 (1-based connection index), got %d", p.Op)
+	}
+	return nil
+}
+
+// String renders a plan for test names and logs.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s@%d(seed %d)", p.Kind, p.Op, p.Seed)
+}
+
+func (p Plan) stall() time.Duration {
+	if p.Stall > 0 {
+		return p.Stall
+	}
+	return DefaultStall
+}
+
+func (p Plan) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return DefaultMaxDelay
+}
+
+// ErrInjected is the error surfaced by operations on a connection whose
+// fault has fired: the wire is gone and nothing sent afterwards arrives.
+var ErrInjected = errors.New("netfault: fault injected")
+
+// Listener wraps an inner net.Listener and applies one Plan to the Op-th
+// accepted connection. Safe for concurrent use.
+type Listener struct {
+	inner net.Listener
+	plan  Plan
+
+	mu    sync.Mutex
+	rng   *stats.RNG
+	conns int
+	fired bool
+}
+
+// Wrap arms plan on inner. The plan is validated once here so a typo'd
+// smoke configuration fails loudly instead of silently never firing.
+func Wrap(inner net.Listener, plan Plan) (*Listener, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Listener{inner: inner, plan: plan, rng: stats.NewRNG(plan.Seed)}, nil
+}
+
+// Accept accepts from the inner listener, counting connections; the Op-th
+// one comes back wrapped with the armed fault.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.conns++
+	if l.conns != l.plan.Op {
+		l.mu.Unlock()
+		return c, nil
+	}
+	l.fired = true
+	fc := &faultConn{Conn: c, kind: l.plan.Kind, maxDelay: l.plan.maxDelay()}
+	rng := l.rng.SplitAt(uint64(l.conns))
+	switch l.plan.Kind {
+	case RST, Truncate:
+		fc.cutAfter = 1 + rng.Intn(cutWindow)
+	case Stall:
+		s := l.plan.stall()
+		fc.stallFor = s/2 + time.Duration(rng.Float64()*float64(s/2))
+	}
+	fc.rng = rng
+	l.mu.Unlock()
+	if l.plan.Kind == Refuse {
+		// Sever at accept: the peer observes connect-then-reset before any
+		// byte moves, the closest userspace analogue of a refused connection.
+		c.Close()
+		return c, nil
+	}
+	return fc, nil
+}
+
+// Close closes the inner listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conns reports how many connections have been accepted so far.
+func (l *Listener) Conns() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conns
+}
+
+// Fired reports whether the plan's target connection has been accepted yet
+// (for Latency plans this means the delays are armed, not that anything
+// failed).
+func (l *Listener) Fired() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fired
+}
+
+// faultConn is the Op-th connection with its fault armed. The embedded
+// net.Conn serves the pass-through methods (addresses, deadlines, Close).
+type faultConn struct {
+	net.Conn
+	kind     Kind
+	maxDelay time.Duration
+
+	mu       sync.Mutex
+	rng      *stats.RNG
+	cutAfter int // RST/Truncate: peer-bound bytes delivered before the cut
+	written  int
+	stallFor time.Duration
+	stalled  bool
+	dead     bool
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	switch c.kind {
+	case Stall:
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return 0, ErrInjected
+		}
+		first := !c.stalled
+		if first {
+			c.stalled = true
+			c.dead = true
+		}
+		d := c.stallFor
+		c.mu.Unlock()
+		if first {
+			time.Sleep(d)
+			c.sever(false)
+			return 0, ErrInjected
+		}
+		return 0, ErrInjected
+	case RST, Truncate:
+		if c.isDead() {
+			return 0, ErrInjected
+		}
+	case Latency:
+		c.delay()
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch c.kind {
+	case RST, Truncate:
+		c.mu.Lock()
+		if c.dead {
+			c.mu.Unlock()
+			return 0, ErrInjected
+		}
+		if c.written+len(p) < c.cutAfter {
+			c.written += len(p)
+			c.mu.Unlock()
+			return c.Conn.Write(p)
+		}
+		// Deliver the strict prefix up to the seeded cut, then sever.
+		keep := c.cutAfter - c.written
+		c.written = c.cutAfter
+		c.dead = true
+		c.mu.Unlock()
+		if keep > 0 {
+			c.Conn.Write(p[:keep])
+		}
+		c.sever(c.kind == RST)
+		return keep, ErrInjected
+	case Stall:
+		if c.isDead() {
+			return 0, ErrInjected
+		}
+	case Latency:
+		c.delay()
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// delay injects one seeded latency spike. The draw happens under the lock,
+// the sleep outside it.
+func (c *faultConn) delay() {
+	c.mu.Lock()
+	d := time.Duration(c.rng.Float64() * float64(c.maxDelay))
+	c.mu.Unlock()
+	time.Sleep(d)
+}
+
+// sever kills the connection: with rst, SO_LINGER 0 turns the close into a
+// TCP reset so the peer's pending read fails hard instead of seeing EOF.
+func (c *faultConn) sever(rst bool) {
+	if rst {
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	c.Conn.Close()
+}

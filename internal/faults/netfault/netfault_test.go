@@ -1,0 +1,332 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error, "" for valid
+	}{
+		{"refuse ok", Plan{Kind: Refuse, Op: 1}, ""},
+		{"latency ok", Plan{Kind: Latency, Op: 3, Seed: 9}, ""},
+		{"unknown kind", Plan{Kind: "fire", Op: 1}, "unknown kind"},
+		{"zero op", Plan{Kind: RST, Op: 0}, "Op must be >= 1"},
+		{"negative op", Plan{Kind: Stall, Op: -2}, "Op must be >= 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWrapRejectsBadPlan(t *testing.T) {
+	if _, err := Wrap(nil, Plan{Kind: "nope", Op: 1}); err == nil {
+		t.Fatal("Wrap accepted an invalid plan")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	got := Plan{Kind: Truncate, Op: 2, Seed: 41}.String()
+	if got != "truncate@2(seed 41)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestKindsCoversAll(t *testing.T) {
+	want := []Kind{Refuse, RST, Stall, Truncate, Latency}
+	got := Kinds()
+	if len(got) != len(want) {
+		t.Fatalf("Kinds() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Kinds()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// newTCP returns a wrapped loopback listener and its dial address.
+func newTCP(t *testing.T, plan Plan) (*Listener, string) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	l, err := Wrap(inner, plan)
+	if err != nil {
+		t.Fatalf("Wrap: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, inner.Addr().String()
+}
+
+// serveOnce accepts one connection and runs handle on it in a goroutine;
+// the returned channel closes when the handler finishes.
+func serveOnce(t *testing.T, l *Listener, handle func(net.Conn)) <-chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		handle(c)
+	}()
+	return done
+}
+
+func TestRefuseSeversAtAccept(t *testing.T) {
+	l, addr := newTCP(t, Plan{Kind: Refuse, Op: 1, Seed: 7})
+
+	done := serveOnce(t, l, func(c net.Conn) {
+		// The conn is already closed; any use must fail.
+		if _, err := c.Write([]byte("hello")); err == nil {
+			t.Error("write on refused conn succeeded")
+		}
+	})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	<-done
+
+	// The peer observes a dead connection: the read fails without data.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := c.Read(buf); err == nil {
+		t.Fatalf("read on refused conn returned %d bytes, want failure", n)
+	}
+	if !l.Fired() {
+		t.Fatal("Fired() = false after the target conn was accepted")
+	}
+}
+
+func TestSecondConnPassesThrough(t *testing.T) {
+	l, addr := newTCP(t, Plan{Kind: Refuse, Op: 1, Seed: 7})
+
+	// Burn the faulted connection.
+	done := serveOnce(t, l, func(net.Conn) {})
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	c1.Close()
+	<-done
+
+	// The next connection is untouched: a round trip works.
+	done = serveOnce(t, l, func(c net.Conn) {
+		io.Copy(c, c)
+	})
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	msg := []byte("badge telemetry")
+	if _, err := c2.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("echo = %q, want %q", buf, msg)
+	}
+	c2.Close() // unblocks the echo copy so the handler can finish
+	<-done
+	if got := l.Conns(); got != 2 {
+		t.Fatalf("Conns() = %d, want 2", got)
+	}
+}
+
+// truncatedLen runs one Truncate exchange: the server tries to write 1 KiB,
+// the client counts what arrives before the clean close.
+func truncatedLen(t *testing.T, seed uint64) (served int, wErr error) {
+	t.Helper()
+	l, addr := newTCP(t, Plan{Kind: Truncate, Op: 1, Seed: seed})
+	payload := bytes.Repeat([]byte("x"), 1024)
+	errc := make(chan error, 1)
+	done := serveOnce(t, l, func(c net.Conn) {
+		_, err := c.Write(payload)
+		errc <- err
+	})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _ := io.Copy(io.Discard, c)
+	<-done
+	return int(n), <-errc
+}
+
+func TestTruncateDeliversSeededPrefix(t *testing.T) {
+	n1, werr := truncatedLen(t, 7)
+	if n1 < 1 || n1 > 256 {
+		t.Fatalf("client received %d bytes, want a cut in [1, 256]", n1)
+	}
+	if !errors.Is(werr, ErrInjected) {
+		t.Fatalf("server write error = %v, want ErrInjected", werr)
+	}
+	// Same seed, fresh listener: the cut must land on the same byte.
+	n2, _ := truncatedLen(t, 7)
+	if n1 != n2 {
+		t.Fatalf("cut not deterministic: %d then %d bytes for the same seed", n1, n2)
+	}
+	// A different seed is overwhelmingly likely to cut elsewhere; tolerate
+	// collisions by trying a few.
+	for _, seed := range []uint64{8, 9, 10} {
+		if n, _ := truncatedLen(t, seed); n != n1 {
+			return
+		}
+	}
+	t.Fatal("cut offset identical across four different seeds; RNG not wired")
+}
+
+func TestRSTCutsMidBody(t *testing.T) {
+	l, addr := newTCP(t, Plan{Kind: RST, Op: 1, Seed: 11})
+	payload := bytes.Repeat([]byte("y"), 4096)
+	errc := make(chan error, 1)
+	done := serveOnce(t, l, func(c net.Conn) {
+		// Wait for the client's opening byte before writing: an immediate
+		// RST on loopback can otherwise beat the client's connect().
+		io.ReadFull(c, make([]byte, 1))
+		_, err := c.Write(payload)
+		errc <- err
+	})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("g")); err != nil {
+		t.Fatalf("opening write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, rdErr := io.Copy(io.Discard, c)
+	<-done
+	if !errors.Is(<-errc, ErrInjected) {
+		t.Fatal("server write survived the RST plan")
+	}
+	if n >= int64(len(payload)) {
+		t.Fatalf("client received the full %d-byte payload despite the RST cut", n)
+	}
+	// A reset (unlike Truncate's FIN) surfaces as a read error; buffered
+	// bytes may or may not arrive first depending on the kernel.
+	if rdErr == nil {
+		t.Fatal("client read ended cleanly, want a connection error")
+	}
+}
+
+func TestStallBlocksThenSevers(t *testing.T) {
+	const hold = 150 * time.Millisecond
+	l, addr := newTCP(t, Plan{Kind: Stall, Op: 1, Seed: 3, Stall: hold})
+	type res struct {
+		err     error
+		elapsed time.Duration
+	}
+	resc := make(chan res, 1)
+	done := serveOnce(t, l, func(c net.Conn) {
+		start := time.Now()
+		_, err := c.Read(make([]byte, 64))
+		resc <- res{err: err, elapsed: time.Since(start)}
+	})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.Write([]byte("request that will never be served"))
+	<-done
+	r := <-resc
+	if !errors.Is(r.err, ErrInjected) {
+		t.Fatalf("stalled read error = %v, want ErrInjected", r.err)
+	}
+	if r.elapsed < hold/2 {
+		t.Fatalf("read returned after %v, want a stall of at least %v", r.elapsed, hold/2)
+	}
+	// The connection was severed: the peer's next read must fail, not hang.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.Copy(io.Discard, c); err != nil {
+		// RST from the severed conn: acceptable.
+		return
+	}
+}
+
+func TestLatencyDelaysButDeliversEverything(t *testing.T) {
+	l, addr := newTCP(t, Plan{Kind: Latency, Op: 1, Seed: 5, MaxDelay: 10 * time.Millisecond})
+	payload := bytes.Repeat([]byte("z"), 2048)
+	done := serveOnce(t, l, func(c net.Conn) {
+		if _, err := io.Copy(c, c); err != nil {
+			t.Errorf("latency conn copy: %v", err)
+		}
+	})
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := c.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("latency plan corrupted the payload")
+	}
+	c.Close()
+	<-done
+	if !l.Fired() {
+		t.Fatal("Fired() = false after the latency conn was accepted")
+	}
+}
+
+func TestOpTargetsLaterConn(t *testing.T) {
+	l, addr := newTCP(t, Plan{Kind: Refuse, Op: 2, Seed: 7})
+	for i := 1; i <= 2; i++ {
+		done := serveOnce(t, l, func(c net.Conn) {
+			c.Write([]byte("ok"))
+		})
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 2)
+		_, rdErr := io.ReadFull(c, buf)
+		c.Close()
+		<-done
+		if i == 1 && rdErr != nil {
+			t.Fatalf("conn 1 should pass through, read failed: %v", rdErr)
+		}
+		if i == 2 && rdErr == nil {
+			t.Fatal("conn 2 should be refused, read succeeded")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package netfault
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a TCP forwarder with one fault plan armed on its accept side:
+// clients dial the proxy, the proxy splices each connection to the target
+// address, and the Op-th client connection gets the plan's fault. It is the
+// out-of-process counterpart of Wrap — cmd/netchaos runs one between
+// dvsimctl and dvsimd so CI can prove the serving path end-to-end against
+// every plan without either binary knowing the wire is hostile.
+type Proxy struct {
+	l      *Listener
+	target string
+	wg     sync.WaitGroup
+}
+
+// NewProxy arms plan on inner and forwards accepted connections to target
+// (a host:port). Run starts serving.
+func NewProxy(inner net.Listener, target string, plan Plan) (*Proxy, error) {
+	l, err := Wrap(inner, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{l: l, target: target}, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr { return p.l.Addr() }
+
+// Fired reports whether the plan's target connection has arrived.
+func (p *Proxy) Fired() bool { return p.l.Fired() }
+
+// Conns reports how many client connections have been accepted.
+func (p *Proxy) Conns() int { return p.l.Conns() }
+
+// Run accepts and splices connections until ctx is cancelled or the
+// listener fails, then waits for in-flight splices to wind down. It returns
+// ctx's error on cancellation, the accept error otherwise.
+func (p *Proxy) Run(ctx context.Context) error {
+	// The closer turns ctx cancellation into a listener close so the
+	// blocking Accept below unblocks; stop retires it if Run exits first.
+	stop := make(chan struct{})
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		p.l.Close()
+	}()
+	var err error
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		var c net.Conn
+		c, err = p.l.Accept()
+		if err != nil {
+			break
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.splice(ctx, c)
+		}()
+	}
+	close(stop)
+	<-closed
+	p.wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// splice pumps bytes between a client connection and a fresh connection to
+// the target until either direction ends or ctx is cancelled, then tears
+// both down. The pump sends are buffered so neither goroutine can leak
+// even when splice returns on the other direction's completion.
+func (p *Proxy) splice(ctx context.Context, client net.Conn) {
+	var d net.Dialer
+	up, err := d.DialContext(ctx, "tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(up, client)
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, up)
+		done <- struct{}{}
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	// One direction finished (or we were cancelled): a TCP proxy cannot
+	// know whether the peer wanted a half-close, so tear down both legs and
+	// let the client's retry layer recover.
+	client.Close()
+	up.Close()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}

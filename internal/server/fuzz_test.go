@@ -1,0 +1,37 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzDecodeFleetRequest drives arbitrary bytes through the exact pipeline
+// a /v1/fleet body takes — strict decode, limit validation, spec lowering —
+// and pins the idempotency layer's load-bearing invariant: once a request
+// survives parseFleetConfig, its canonical Hash (the dedup scope) must
+// never fail. A panic anywhere in the pipeline is a crash a remote caller
+// could trigger with one POST.
+func FuzzDecodeFleetRequest(f *testing.F) {
+	f.Add([]byte(`{"badges":3,"seed":7,"apps":["mp3"],"policies":["expavg"],"dpms":["none"]}`))
+	f.Add([]byte(`{"badges":1,"seed":0}`))
+	f.Add([]byte(`{"badges":-1}`))
+	f.Add([]byte(`{"badges":1e9,"workers":-5}`))
+	f.Add([]byte(`{"badges":2,"policies":["nosuch"]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"badges":2,"timeout_ms":-1}`))
+	s := New(Config{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req FleetRequest
+		if err := decodeBytes(data, &req); err != nil {
+			return // malformed JSON is rejected, not crashed on
+		}
+		cfg, err := s.parseFleetConfig(req)
+		if err != nil {
+			return // invalid configs are rejected, not crashed on
+		}
+		if _, err := cfg.Hash(); err != nil {
+			t.Fatalf("validated config failed to hash (idempotency scope would 500): %v", err)
+		}
+	})
+}

@@ -8,6 +8,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -134,39 +135,77 @@ type errorResponse struct {
 	Error  string `json:"error"`
 }
 
-// writeJSON renders v with the canonical encoding. Marshal failure on these
-// closed DTO types is unreachable.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// respJSON renders v with the canonical encoding; this is the one
+// json.Marshal site for response bodies, so every path — fresh, joined or
+// replayed — emits identical bytes for identical values. Marshal failure
+// on these closed DTO types is unreachable.
+func respJSON(code int, v any) response {
 	body, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"status":"error","error":"encoding failure"}`, http.StatusInternalServerError)
-		return
+		return response{
+			code: http.StatusInternalServerError,
+			body: []byte(`{"status":"error","error":"encoding failure"}` + "\n"),
+		}
 	}
-	body = append(body, '\n')
+	return response{code: code, body: append(body, '\n')}
+}
+
+// writeResponse puts a rendered response on the wire.
+func writeResponse(w http.ResponseWriter, resp response) {
+	if resp.retryAfter != "" {
+		w.Header().Set("Retry-After", resp.retryAfter)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
-	w.WriteHeader(code)
-	w.Write(body)
+	w.Header().Set("Content-Length", fmt.Sprint(len(resp.body)))
+	w.WriteHeader(resp.code)
+	w.Write(resp.body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	writeResponse(w, respJSON(code, v))
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Status: "error", Error: msg})
 }
 
-// writeCancelled answers a request whose context died mid-run. The message
-// is fixed: the engine's joined cancellation error varies with shard timing
-// and has no place in a response body.
-func writeCancelled(w http.ResponseWriter) {
-	writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+// cancelledResponse answers a request whose context died mid-run. The
+// message is fixed: the engine's joined cancellation error varies with
+// shard timing and has no place in a response body.
+func cancelledResponse() response {
+	return respJSON(http.StatusGatewayTimeout, errorResponse{
 		Status: "cancelled",
 		Error:  "deadline exceeded or client gone before the run completed",
 	})
 }
 
-// decodeBody strictly decodes the request body into v (unknown fields are
+func writeCancelled(w http.ResponseWriter) {
+	writeResponse(w, cancelledResponse())
+}
+
+// readBody drains the request body under the hard cap, answering 413 when
+// the client exceeds it (MaxBytesReader also severs the connection, so an
+// unbounded sender cannot keep streaming).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, rt *route) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.failures.Inc()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes))
+			return nil, false
+		}
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeBytes strictly decodes a request body into v (unknown fields are
 // errors — they are silent typos of the knobs above).
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+func decodeBytes(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid JSON body: %v", err)
@@ -174,23 +213,28 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
-// admitError maps an admission failure to its HTTP response.
-func (s *Server) admitError(w http.ResponseWriter, err error) {
+// admitResponse maps an admission failure to its HTTP response.
+func (s *Server) admitResponse(err error) response {
 	switch {
 	case errors.Is(err, errShed):
-		w.Header().Set("Retry-After", s.retryAfterValue())
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		resp := respJSON(http.StatusTooManyRequests, errorResponse{
 			Status: "shed",
 			Error:  "admission queue full; retry later",
 		})
+		resp.retryAfter = s.retryAfterValue()
+		return resp
 	case errors.Is(err, errDraining):
 		// The drain will finish; tell well-behaved clients when to come
 		// back instead of leaving them to guess.
-		w.Header().Set("Retry-After", s.retryAfterValue())
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		resp := respJSON(http.StatusServiceUnavailable, errorResponse{
+			Status: "error",
+			Error:  "server is draining",
+		})
+		resp.retryAfter = s.retryAfterValue()
+		return resp
 	default: // context cancelled while queued
 		s.cCanceled.Inc()
-		writeCancelled(w)
+		return cancelledResponse()
 	}
 }
 
@@ -288,8 +332,12 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	body, ok := s.readBody(w, r, &s.rFleet)
+	if !ok {
+		return
+	}
 	var req FleetRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		s.rFleet.failures.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -300,27 +348,32 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	release, err := s.admit(ctx)
+	// cfg passed fleet.Validate above, so Hash cannot fail here.
+	scope, _ := cfg.Hash()
+	key, err := idemKey(r, "fleet", scope, body)
 	if err != nil {
 		s.rFleet.failures.Inc()
-		s.admitError(w, err)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	defer release()
-	rep, err := s.runFleet(ctx, cfg)
-	if err != nil {
-		s.rFleet.failures.Inc()
-		if ctx.Err() != nil {
-			s.cCanceled.Inc()
-			writeCancelled(w)
-			return
+	s.serveIdempotent(w, r, &s.rFleet, key, func() response {
+		ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+		defer cancel()
+		release, err := s.admit(ctx)
+		if err != nil {
+			return s.admitResponse(err)
 		}
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, fleetResponse(rep))
+		defer release()
+		rep, err := s.engineFleet(ctx, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				s.cCanceled.Inc()
+				return cancelledResponse()
+			}
+			return respJSON(http.StatusInternalServerError, errorResponse{Status: "error", Error: err.Error()})
+		}
+		return respJSON(http.StatusOK, fleetResponse(rep))
+	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -331,8 +384,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	body, ok := s.readBody(w, r, &s.rRun)
+	if !ok {
+		return
+	}
 	var req RunRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		s.rRun.failures.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -360,27 +417,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	release, err := s.admit(ctx)
+	// cfg passed fleet.Validate above, so Hash cannot fail here.
+	scope, _ := cfg.Hash()
+	key, err := idemKey(r, "run", scope, body)
 	if err != nil {
 		s.rRun.failures.Inc()
-		s.admitError(w, err)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	defer release()
-	rep, err := s.runFleet(ctx, cfg)
-	if err != nil {
-		s.rRun.failures.Inc()
-		if ctx.Err() != nil {
-			s.cCanceled.Inc()
-			writeCancelled(w)
-			return
+	s.serveIdempotent(w, r, &s.rRun, key, func() response {
+		ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+		defer cancel()
+		release, err := s.admit(ctx)
+		if err != nil {
+			return s.admitResponse(err)
 		}
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, RunResponse{Status: "ok", Badge: badgeJSON(rep.Badges[0])})
+		defer release()
+		rep, err := s.engineFleet(ctx, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				s.cCanceled.Inc()
+				return cancelledResponse()
+			}
+			return respJSON(http.StatusInternalServerError, errorResponse{Status: "error", Error: err.Error()})
+		}
+		return respJSON(http.StatusOK, RunResponse{Status: "ok", Badge: badgeJSON(rep.Badges[0])})
+	})
 }
 
 func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
@@ -391,8 +453,12 @@ func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	body, ok := s.readBody(w, r, &s.rThr)
+	if !ok {
+		return
+	}
 	var req ThresholdsRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		s.rThr.failures.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -415,37 +481,41 @@ func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	release, err := s.admit(ctx)
+	// Thresholds have no fleet config hash; the body hash inside the key
+	// already pins every knob.
+	key, err := idemKey(r, "thresholds", "", body)
 	if err != nil {
 		s.rThr.failures.Inc()
-		s.admitError(w, err)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	defer release()
-	// The characterisation itself is not context-aware (it is the cached,
-	// offline Monte Carlo step); the deadline covers queue wait, and a
-	// characterisation that outlives its requester still warms the cache.
-	th, err := s.characterise(cfg)
-	if err != nil {
-		s.rThr.failures.Inc()
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	if ctx.Err() != nil {
-		s.rThr.failures.Inc()
-		s.cCanceled.Inc()
-		writeCancelled(w)
-		return
-	}
-	set := th.Snapshot()
-	writeJSON(w, http.StatusOK, ThresholdsResponse{
-		Status:     "ok",
-		WindowSize: set.WindowSize,
-		Confidence: set.Confidence,
-		Ratios:     set.Ratios,
-		Values:     set.Values,
+	s.serveIdempotent(w, r, &s.rThr, key, func() response {
+		ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+		defer cancel()
+		release, err := s.admit(ctx)
+		if err != nil {
+			return s.admitResponse(err)
+		}
+		defer release()
+		// The characterisation itself is not context-aware (it is the cached,
+		// offline Monte Carlo step); the deadline covers queue wait, and a
+		// characterisation that outlives its requester still warms the cache.
+		th, err := s.characterise(cfg)
+		if err != nil {
+			return respJSON(http.StatusInternalServerError, errorResponse{Status: "error", Error: err.Error()})
+		}
+		if ctx.Err() != nil {
+			s.cCanceled.Inc()
+			return cancelledResponse()
+		}
+		set := th.Snapshot()
+		return respJSON(http.StatusOK, ThresholdsResponse{
+			Status:     "ok",
+			WindowSize: set.WindowSize,
+			Confidence: set.Confidence,
+			Ratios:     set.Ratios,
+			Values:     set.Values,
+		})
 	})
 }
 

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartbadge/internal/changepoint"
+	"smartbadge/internal/fleet"
+)
+
+// postKeyed is postRecorder plus an Idempotency-Key header.
+func postKeyed(s *Server, path, body, key string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// countingCharacterise is a stub characterisation with an invocation
+// counter, returning a fixed two-ratio table.
+func countingCharacterise(calls *atomic.Int64) func(cfg changepoint.Config) (*changepoint.Thresholds, error) {
+	return func(cfg changepoint.Config) (*changepoint.Thresholds, error) {
+		calls.Add(1)
+		return changepoint.RestoreThresholds(changepoint.ThresholdSet{
+			WindowSize: 100,
+			Confidence: 0.95,
+			Ratios:     []float64{0.5, 2},
+			Values:     []float64{1.5, 1.75},
+		})
+	}
+}
+
+// countingEngine wraps a stub engine with an invocation counter.
+func countingEngine(calls *atomic.Int64) func(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+	return func(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+		calls.Add(1)
+		return &fleet.Report{Badges: []fleet.BadgeResult{{Spec: cfg.SpecFor(0)}}}, nil
+	}
+}
+
+func counterValue(s *Server, name string) float64 {
+	snap := s.Metrics().Snapshot()
+	return snap.Counters[name]
+}
+
+func TestIdempotentRepeatSkipsEngine(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runFleet = countingEngine(&calls)
+
+	first := postKeyed(s, "/v1/fleet", smallFleetBody, "retry-abc")
+	if first.Code != http.StatusOK {
+		t.Fatalf("first POST = %d: %s", first.Code, first.Body.String())
+	}
+	second := postKeyed(s, "/v1/fleet", smallFleetBody, "retry-abc")
+	if second.Code != http.StatusOK {
+		t.Fatalf("second POST = %d: %s", second.Code, second.Body.String())
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("replayed body differs from the original")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("engine ran %d times, want 1 (replay must not recompute)", got)
+	}
+	if got := counterValue(s, "server.engine.fleet_runs"); got != 1 {
+		t.Fatalf("server.engine.fleet_runs = %v, want 1", got)
+	}
+	if got := counterValue(s, "server.idem.miss"); got != 1 {
+		t.Fatalf("server.idem.miss = %v, want 1", got)
+	}
+	if got := counterValue(s, "server.idem.replay"); got != 1 {
+		t.Fatalf("server.idem.replay = %v, want 1", got)
+	}
+}
+
+func TestIdempotentJoinersShareOneRun(t *testing.T) {
+	s := New(Config{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	inner := blockingEngine(release)
+	s.runFleet = func(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+		calls.Add(1)
+		return inner(ctx, cfg)
+	}
+
+	const dupes = 4
+	bodies := make([]string, dupes)
+	codes := make([]int, dupes)
+	var wg sync.WaitGroup
+	for i := 0; i < dupes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postKeyed(s, "/v1/fleet", smallFleetBody, "storm-key")
+			bodies[i], codes[i] = rec.Body.String(), rec.Code
+		}(i)
+	}
+	// One leader computes, the rest join it.
+	waitFor(t, "the leader to reach the engine", func() bool { return calls.Load() == 1 })
+	waitFor(t, "joiners to subscribe", func() bool {
+		return counterValue(s, "server.idem.join") == dupes-1
+	})
+	close(release)
+	wg.Wait()
+	for i := 0; i < dupes; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d = %d: %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d body differs from the leader's", i)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("engine ran %d times for %d concurrent duplicates, want 1", got, dupes)
+	}
+}
+
+func TestIdempotencyScopesByKeyAndBody(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runFleet = countingEngine(&calls)
+
+	postKeyed(s, "/v1/fleet", smallFleetBody, "key-one")
+	postKeyed(s, "/v1/fleet", smallFleetBody, "key-two") // different token: recompute
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("engine ran %d times for two distinct keys, want 2", got)
+	}
+	// Same token, different body: the body hash keeps them apart.
+	other := `{"badges":4,"seed":7,"apps":["mp3"],"policies":["expavg"],"dpms":["none"]}`
+	postKeyed(s, "/v1/fleet", other, "key-one")
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("engine ran %d times after a same-key different-body POST, want 3", got)
+	}
+	// No header: no dedup, every POST computes.
+	postKeyed(s, "/v1/fleet", smallFleetBody, "")
+	postKeyed(s, "/v1/fleet", smallFleetBody, "")
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("engine ran %d times with dedup disabled, want 5", got)
+	}
+}
+
+func TestIdempotencyErrorResponsesAreNotCached(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runFleet = func(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient engine failure")
+		}
+		return &fleet.Report{Badges: []fleet.BadgeResult{{Spec: cfg.SpecFor(0)}}}, nil
+	}
+
+	first := postKeyed(s, "/v1/fleet", smallFleetBody, "flaky")
+	if first.Code != http.StatusInternalServerError {
+		t.Fatalf("first POST = %d, want 500", first.Code)
+	}
+	second := postKeyed(s, "/v1/fleet", smallFleetBody, "flaky")
+	if second.Code != http.StatusOK {
+		t.Fatalf("retry after an error = %d, want 200 (errors must not be replayed)", second.Code)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("engine ran %d times, want 2", got)
+	}
+}
+
+func TestIdempotencyKeyTooLongRejected(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runFleet = countingEngine(&calls)
+	rec := postKeyed(s, "/v1/fleet", smallFleetBody, strings.Repeat("k", maxIdemKeyLen+1))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized key = %d, want 400", rec.Code)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("engine ran for a rejected key")
+	}
+}
+
+func TestIdempotencyCacheBounded(t *testing.T) {
+	s := New(Config{IdemEntries: 2})
+	var calls atomic.Int64
+	s.runFleet = countingEngine(&calls)
+	for i := 0; i < 5; i++ {
+		rec := postKeyed(s, "/v1/fleet", smallFleetBody, fmt.Sprintf("key-%d", i))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST %d = %d", i, rec.Code)
+		}
+	}
+	if got := s.idem.len(); got > 2 {
+		t.Fatalf("idempotency cache holds %d entries, want <= 2", got)
+	}
+	// The newest key is still resident: a replay must not recompute.
+	before := calls.Load()
+	postKeyed(s, "/v1/fleet", smallFleetBody, "key-4")
+	if calls.Load() != before {
+		t.Fatal("newest key was evicted; LRU must keep the most recent entries")
+	}
+	// The oldest was evicted: same key recomputes.
+	postKeyed(s, "/v1/fleet", smallFleetBody, "key-0")
+	if calls.Load() != before+1 {
+		t.Fatal("evicted key did not recompute")
+	}
+}
+
+func TestIdempotencyCoversRunAndThresholds(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runFleet = countingEngine(&calls)
+	runBody := `{"app":"mp3","policy":"expavg","dpm":"none","seed":7}`
+	first := postKeyed(s, "/v1/run", runBody, "run-key")
+	second := postKeyed(s, "/v1/run", runBody, "run-key")
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("run POSTs = %d, %d", first.Code, second.Code)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("replayed /v1/run body differs")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("engine ran %d times for a repeated /v1/run, want 1", got)
+	}
+
+	var thrCalls atomic.Int64
+	s.characterise = countingCharacterise(&thrCalls)
+	thrBody := `{"rates":[6,12,24],"characterisation_windows":120}`
+	tFirst := postKeyed(s, "/v1/thresholds", thrBody, "thr-key")
+	tSecond := postKeyed(s, "/v1/thresholds", thrBody, "thr-key")
+	if tFirst.Code != http.StatusOK || tSecond.Code != http.StatusOK {
+		t.Fatalf("thresholds POSTs = %d, %d: %s", tFirst.Code, tSecond.Code, tFirst.Body.String())
+	}
+	if tFirst.Body.String() != tSecond.Body.String() {
+		t.Fatal("replayed /v1/thresholds body differs")
+	}
+	if got := thrCalls.Load(); got != 1 {
+		t.Fatalf("characterise ran %d times for a repeated /v1/thresholds, want 1", got)
+	}
+}
+
+// TestOversizedBodyRejected413: a body beyond maxBodyBytes must be refused
+// with 413 before any engine work, and the handler must not hang reading it.
+func TestOversizedBodyRejected413(t *testing.T) {
+	s := New(Config{})
+	var calls atomic.Int64
+	s.runFleet = countingEngine(&calls)
+	big := `{"badges":3,"seed":7,"apps":["` + strings.Repeat("a", maxBodyBytes) + `"]}`
+	for _, path := range []string{"/v1/fleet", "/v1/run", "/v1/thresholds"} {
+		rec := postRecorder(s, path, big)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body = %d, want 413", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), "request body exceeds") {
+			t.Fatalf("%s 413 body = %s", path, rec.Body.String())
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatal("engine ran despite the oversized body")
+	}
+}
+
+// TestSlowLorisConnDoesNotBlockDrain (satellite): a client that opens a
+// connection and dribbles headers forever must not hold up Shutdown —
+// ReadHeaderTimeout reaps it, so the drain completes within budget.
+func TestSlowLorisConnDoesNotBlockDrain(t *testing.T) {
+	s := New(Config{ReadHeaderTimeout: 200 * time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+
+	// The slow-loris: partial headers, then silence while holding the conn.
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("POST /v1/fleet HTTP/1.1\r\nHost: x\r\nContent-Le")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy request proves the server is live despite the stalled conn.
+	resp, body := post(t, "http://"+l.Addr().String()+"/healthz", "")
+	_ = body
+	if resp.StatusCode != http.StatusMethodNotAllowed { // POST to healthz: 405
+		t.Fatalf("healthz probe = %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with a slow-loris conn pending = %v (drain budget blown)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("drain took %v, want well under the 5s budget", elapsed)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+}

@@ -83,6 +83,23 @@ type Config struct {
 	// RetryAfterS is the Retry-After hint attached to shed (429)
 	// responses; <= 0 selects DefaultRetryAfterS.
 	RetryAfterS int
+	// IdemEntries bounds the completed-response LRU backing Idempotency-Key
+	// replay; <= 0 selects DefaultIdemEntries.
+	IdemEntries int
+	// ReadHeaderTimeout bounds how long a connection may dribble request
+	// headers before it is reaped (slow-loris defence; also what lets
+	// Shutdown finish while a stalled client holds a connection).
+	// <= 0 selects 10s.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one full request including its body;
+	// <= 0 selects 2 minutes (bodies are capped at 1 MiB, so a slower
+	// sender is stalling, not large).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response, measured from when request
+	// reading begins; <= 0 derives MaxTimeoutMS + 1 minute so it never cuts
+	// a run the deadline cap still allows. Runs with timeout_ms=0 are
+	// transport-bounded by this value.
+	WriteTimeout time.Duration
 }
 
 // route bundles one endpoint's pre-resolved instruments (obs handles are
@@ -105,16 +122,22 @@ type Server struct {
 	inflight atomic.Int64
 	draining atomic.Bool
 
-	metrics   *obs.SyncRegistry
-	gQueue    *obs.SyncGauge
-	gInFlight *obs.SyncGauge
-	cShed     *obs.SyncCounter
-	cCanceled *obs.SyncCounter
-	gCacheMem *obs.SyncGauge
-	gCacheDsk *obs.SyncGauge
-	gCacheMis *obs.SyncGauge
-	gCacheShr *obs.SyncGauge
-	gCacheHit *obs.SyncGauge
+	idem *idemCache
+
+	metrics     *obs.SyncRegistry
+	gQueue      *obs.SyncGauge
+	gInFlight   *obs.SyncGauge
+	cShed       *obs.SyncCounter
+	cCanceled   *obs.SyncCounter
+	cIdemMiss   *obs.SyncCounter
+	cIdemJoin   *obs.SyncCounter
+	cIdemReplay *obs.SyncCounter
+	cEngineFlt  *obs.SyncCounter
+	gCacheMem   *obs.SyncGauge
+	gCacheDsk   *obs.SyncGauge
+	gCacheMis   *obs.SyncGauge
+	gCacheShr   *obs.SyncGauge
+	gCacheHit   *obs.SyncGauge
 
 	rFleet route
 	rRun   route
@@ -147,26 +170,43 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfterS <= 0 {
 		cfg.RetryAfterS = DefaultRetryAfterS
 	}
+	if cfg.IdemEntries <= 0 {
+		cfg.IdemEntries = DefaultIdemEntries
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 10 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = time.Duration(cfg.MaxTimeoutMS)*time.Millisecond + time.Minute
+	}
 	cache := cfg.Cache
 	if cache == nil {
 		cache = experiments.ThresholdCache()
 	}
 	m := obs.NewSyncRegistry()
 	s := &Server{
-		cfg:       cfg,
-		cache:     cache,
-		mux:       http.NewServeMux(),
-		sem:       make(chan struct{}, cfg.MaxInFlight),
-		metrics:   m,
-		gQueue:    m.Gauge("server.queue.depth"),
-		gInFlight: m.Gauge("server.inflight"),
-		cShed:     m.Counter("server.shed"),
-		cCanceled: m.Counter("server.cancelled"),
-		gCacheMem: m.Gauge("server.thrcache.mem_hits"),
-		gCacheDsk: m.Gauge("server.thrcache.disk_hits"),
-		gCacheMis: m.Gauge("server.thrcache.misses"),
-		gCacheShr: m.Gauge("server.thrcache.shared"),
-		gCacheHit: m.Gauge("server.thrcache.hit_ratio"),
+		cfg:         cfg,
+		cache:       cache,
+		mux:         http.NewServeMux(),
+		sem:         make(chan struct{}, cfg.MaxInFlight),
+		idem:        newIdemCache(cfg.IdemEntries),
+		metrics:     m,
+		gQueue:      m.Gauge("server.queue.depth"),
+		gInFlight:   m.Gauge("server.inflight"),
+		cShed:       m.Counter("server.shed"),
+		cCanceled:   m.Counter("server.cancelled"),
+		cIdemMiss:   m.Counter("server.idem.miss"),
+		cIdemJoin:   m.Counter("server.idem.join"),
+		cIdemReplay: m.Counter("server.idem.replay"),
+		cEngineFlt:  m.Counter("server.engine.fleet_runs"),
+		gCacheMem:   m.Gauge("server.thrcache.mem_hits"),
+		gCacheDsk:   m.Gauge("server.thrcache.disk_hits"),
+		gCacheMis:   m.Gauge("server.thrcache.misses"),
+		gCacheShr:   m.Gauge("server.thrcache.shared"),
+		gCacheHit:   m.Gauge("server.thrcache.hit_ratio"),
 		rFleet: route{
 			requests:  m.Counter("server.fleet.requests"),
 			failures:  m.Counter("server.fleet.failures"),
@@ -192,9 +232,19 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.httpd = &http.Server{
 		Handler:           s.mux,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
 	}
 	return s
+}
+
+// engineFleet is the counted engine entry point: every real batch
+// computation passes through here, so server.engine.fleet_runs is the
+// ground truth for "a retry performed zero additional simulations".
+func (s *Server) engineFleet(ctx context.Context, cfg fleet.Config) (*fleet.Report, error) {
+	s.cEngineFlt.Inc()
+	return s.runFleet(ctx, cfg)
 }
 
 // Handler returns the daemon's HTTP handler (for tests and embedding).

@@ -1,0 +1,28 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace drives arbitrary bytes through the CSV reader: hostile
+// trace files must come back as errors, never panics, and any trace that
+// parses must also satisfy Validate — ReadCSV has no business producing a
+// trace the rest of the pipeline would reject.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add("seq,arrival_s,work_at_fmax_s,clip,arrival_rate,decode_rate_max\n0,0.0,0.01,intro,30,60\n1,0.033,0.01,intro,30,60\n")
+	f.Add("seq,arrival_s,work_at_fmax_s,clip,arrival_rate,decode_rate_max\n")
+	f.Add("seq,arrival_s,work_at_fmax_s,clip,arrival_rate,decode_rate_max\n1,0,0.01,x,30,60\n")
+	f.Add("not,a,trace\n")
+	f.Add("")
+	f.Add("seq,arrival_s,work_at_fmax_s,clip,arrival_rate,decode_rate_max\n0,NaN,Inf,x,-1,1e308\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted a trace Validate rejects: %v", err)
+		}
+	})
+}
